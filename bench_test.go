@@ -1,0 +1,521 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation.
+//
+// Each BenchmarkFigureN / BenchmarkTableN regenerates the corresponding
+// result through the same internal/report entry points the cmd tools use,
+// and reports the headline metric of that experiment via b.ReportMetric.
+// Instruction budgets are scaled down from the cmd defaults so a full
+// `go test -bench=.` pass completes in minutes on one core; the cmd tools
+// expose flags for paper-scale runs.
+//
+// Microbenchmarks at the bottom measure the hot paths of the simulator
+// itself (signature generation, ITR cache access, pipeline cycles).
+package itr_test
+
+import (
+	"testing"
+
+	"itr/internal/cache"
+	"itr/internal/core"
+	"itr/internal/energy"
+	"itr/internal/fault"
+	"itr/internal/isa"
+	"itr/internal/pipeline"
+	"itr/internal/report"
+	"itr/internal/sig"
+	"itr/internal/trace"
+	"itr/internal/workload"
+)
+
+// benchBudget is the per-benchmark instruction budget used by the figure
+// benchmarks (profiles with BudgetScale still multiply it).
+const benchBudget = 1_500_000
+
+// BenchmarkFigure1 regenerates Figure 1: dynamic instructions contributed by
+// the top-k static traces, SPECint.
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := report.PopularityFigure(workload.IntSuite(), 100, 1000, benchBudget)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Paper anchor: in bzip, 100 static traces contribute 99% of all
+		// dynamic instructions.
+		for _, s := range series {
+			if s.Name == "bzip" {
+				b.ReportMetric(s.Points[0].Y, "bzip-top100-%")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure2 regenerates Figure 2: same CDF for SPECfp.
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := report.PopularityFigure(workload.FPSuite(), 50, 500, benchBudget)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Paper anchor: in wupwise, 50 static traces contribute 99%.
+		for _, s := range series {
+			if s.Name == "wupwise" {
+				b.ReportMetric(s.Points[0].Y, "wupwise-top50-%")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure3 regenerates Figure 3: repeat-distance distribution,
+// SPECint.
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := report.DistanceFigure(workload.IntSuite(), benchBudget)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Paper anchor: all integer benchmarks except perl and vortex
+		// reach 85% within 5000 instructions.
+		reach := 0.0
+		for _, s := range series {
+			if s.Name == "bzip" {
+				reach = s.Points[9].Y // bucket < 5000
+			}
+		}
+		b.ReportMetric(reach, "bzip-within5000-%")
+	}
+}
+
+// BenchmarkFigure4 regenerates Figure 4: repeat-distance distribution,
+// SPECfp.
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := report.DistanceFigure(workload.FPSuite(), benchBudget)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Paper anchor: fp benchmarks (except apsi) repeat within 1500.
+		for _, s := range series {
+			if s.Name == "wupwise" {
+				b.ReportMetric(s.Points[2].Y, "wupwise-within1500-%")
+			}
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1: static trace counts.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := report.Table1(workload.DefaultBudget)
+		if err != nil {
+			b.Fatal(err)
+		}
+		exact := 0
+		for _, r := range rows {
+			if r.Measured == r.Paper {
+				exact++
+			}
+		}
+		b.ReportMetric(float64(exact), "exact-matches-of-16")
+	}
+}
+
+// BenchmarkTable2 exercises the Table 2 decode-signal vector: full
+// pack/unpack round trips of the 64-bit signal word.
+func BenchmarkTable2(b *testing.B) {
+	d := isa.Decode(isa.Instruction{Op: isa.OpLw, Rd: 5, Rs1: 4, Imm: 128})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := d.Pack()
+		d = isa.UnpackSignals(w)
+	}
+	if d.Opcode != isa.OpLw {
+		b.Fatal("round trip corrupted signals")
+	}
+}
+
+// coverageSweepBench runs the Figures 6/7 sweep and reports the vortex
+// worst-case cell for the requested metric.
+func coverageSweepBench(b *testing.B, metric string) {
+	for i := 0; i < b.N; i++ {
+		cells, err := report.CoverageSweep(workload.CoverageSuite(), core.DesignSpace(), benchBudget)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst := 0.0
+		for _, c := range cells {
+			v := c.Result.DetectionLoss
+			if metric == "recovery" {
+				v = c.Result.RecoveryLoss
+			}
+			if c.Benchmark == "vortex" && c.Config.String() == "dm/256" {
+				worst = v
+			}
+		}
+		b.ReportMetric(worst, "vortex-dm256-loss-%")
+	}
+}
+
+// BenchmarkFigure6 regenerates Figure 6: loss in fault detection coverage
+// across the 18-configuration design space.
+func BenchmarkFigure6(b *testing.B) { coverageSweepBench(b, "detection") }
+
+// BenchmarkFigure7 regenerates Figure 7: loss in fault recovery coverage.
+func BenchmarkFigure7(b *testing.B) { coverageSweepBench(b, "recovery") }
+
+// BenchmarkHeadlineCoverage regenerates the Section 3 headline numbers
+// (2-way/1024: 1.3% avg / 8.2% max detection loss in the paper).
+func BenchmarkHeadlineCoverage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h, err := report.HeadlineCoverage(benchBudget)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(h.AvgDetectionLoss, "avg-det-loss-%")
+		b.ReportMetric(h.MaxDetectionLoss, "max-det-loss-%")
+	}
+}
+
+// BenchmarkFigure8 regenerates a scaled-down Figure 8 fault-injection
+// campaign over the paper's 11 benchmarks and reports the ITR detection
+// rate (paper: 95.4% average).
+func BenchmarkFigure8(b *testing.B) {
+	cfg := fault.DefaultCampaignConfig()
+	cfg.Faults = 10
+	cfg.Experiment.WindowCycles = 50_000
+	for i := 0; i < b.N; i++ {
+		rows, err := report.Figure8(workload.CoverageSuite(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		det := 0.0
+		for _, r := range rows {
+			det += r.Result.DetectedPct()
+		}
+		b.ReportMetric(det/float64(len(rows)), "avg-itr-detected-%")
+	}
+}
+
+// BenchmarkFigure9 regenerates Figure 9: ITR cache vs redundant I-cache
+// fetch energy, scaled to the paper's 200M-instruction windows.
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := report.Figure9(workload.Suite(), benchBudget, 200_000_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var itrMJ, redMJ float64
+		for _, r := range rows {
+			itrMJ += r.ITRSinglePort
+			redMJ += r.ICacheRedFetch
+		}
+		// The paper's claim: the ITR approach is far more energy
+		// efficient than fetching twice.
+		b.ReportMetric(redMJ/itrMJ, "icache-vs-itr-energy-x")
+	}
+}
+
+// BenchmarkAreaComparison regenerates the Section 5 area argument.
+func BenchmarkAreaComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cmp := energy.CompareAreas()
+		b.ReportMetric(cmp.Ratio, "iunit-vs-itr-area-x")
+	}
+}
+
+// BenchmarkAblationCheckedLRU compares plain LRU against the Section 2.3
+// checked-first replacement optimization on the worst-case benchmark.
+func BenchmarkAblationCheckedLRU(b *testing.B) {
+	prof, err := workload.ByName("vortex")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		base := core.Config{Entries: 1024, Assoc: 2, Replacement: cache.ReplLRU}
+		opt := core.Config{Entries: 1024, Assoc: 2, Replacement: cache.ReplCheckedLRU}
+		cells, err := report.CoverageSweep([]workload.Profile{prof}, []core.Config{base, opt}, benchBudget)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cells[0].Result.DetectionLoss, "lru-det-loss-%")
+		b.ReportMetric(cells[1].Result.DetectionLoss, "checkedlru-det-loss-%")
+	}
+}
+
+// BenchmarkAblationMissFallback measures the Section 3 hybrid: redundant
+// fetch on ITR misses restores recovery coverage at a frontend-energy cost.
+func BenchmarkAblationMissFallback(b *testing.B) {
+	prof, err := workload.ByName("vortex")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		base := core.DefaultConfig()
+		fb := base
+		fb.MissFallback = true
+		cells, err := report.CoverageSweep([]workload.Profile{prof}, []core.Config{base, fb}, benchBudget)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cells[0].Result.RecoveryLoss, "base-rec-loss-%")
+		b.ReportMetric(cells[1].Result.RecoveryLoss, "fallback-rec-loss-%")
+		b.ReportMetric(float64(cells[1].Result.FallbackInsts), "refetched-insts")
+	}
+}
+
+// ---- simulator microbenchmarks ----
+
+// BenchmarkSignatureAccumulate measures ITR signature generation throughput.
+func BenchmarkSignatureAccumulate(b *testing.B) {
+	words := make([]uint64, 16)
+	for i := range words {
+		words[i] = uint64(i) * 0x9e3779b97f4a7c15
+	}
+	b.ReportAllocs()
+	var acc sig.Accumulator
+	for i := 0; i < b.N; i++ {
+		acc.Reset()
+		for _, w := range words {
+			acc.Add(w)
+		}
+	}
+	if acc.Len() != 16 {
+		b.Fatal("accumulator broken")
+	}
+}
+
+// BenchmarkITRCacheAccess measures the ITR cache hit path.
+func BenchmarkITRCacheAccess(b *testing.B) {
+	c := cache.MustNew(1024, 2, cache.ReplLRU)
+	for pc := uint64(0); pc < 512; pc++ {
+		c.Insert(pc*8, pc)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(uint64(i%512) * 8)
+	}
+}
+
+// BenchmarkTraceFormation measures the decode-side trace former.
+func BenchmarkTraceFormation(b *testing.B) {
+	d1 := isa.Decode(isa.Instruction{Op: isa.OpAdd, Rd: 1, Rs1: 2, Rs2: 3})
+	d2 := isa.Decode(isa.Instruction{Op: isa.OpBne, Rs1: 1, Imm: 100})
+	var f trace.Former
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Step(uint64(i*2), d1)
+		f.Step(uint64(i*2+1), d2)
+	}
+}
+
+// BenchmarkFunctionalExec measures functional instruction execution.
+func BenchmarkFunctionalExec(b *testing.B) {
+	st := isa.NewArchState()
+	st.R[1], st.R[2] = 7, 9
+	d := isa.Decode(isa.Instruction{Op: isa.OpAdd, Rd: 3, Rs1: 1, Rs2: 2})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o := st.Exec(d, uint64(i))
+		st.Apply(o)
+	}
+}
+
+// BenchmarkPipelineCycle measures end-to-end pipeline simulation speed in
+// cycles per second on a real benchmark program.
+func BenchmarkPipelineCycle(b *testing.B) {
+	prof, err := workload.ByName("gap")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := workload.CachedProgram(prof)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cpu, err := pipeline.New(prog, pipeline.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	res := cpu.Run(int64(b.N))
+	b.ReportMetric(res.IPC(), "ipc")
+}
+
+// BenchmarkCoverageReplay measures trace-event replay throughput (the inner
+// loop of the Figures 6/7 sweep).
+func BenchmarkCoverageReplay(b *testing.B) {
+	prof, err := workload.ByName("bzip")
+	if err != nil {
+		b.Fatal(err)
+	}
+	events, err := workload.CachedEvents(prof, 200_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := core.NewCoverageSim(core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Access(events[i%len(events)])
+	}
+}
+
+// BenchmarkWorkloadSynthesis measures benchmark program generation
+// (including the Table 1 calibration loop).
+func BenchmarkWorkloadSynthesis(b *testing.B) {
+	prof, err := workload.ByName("parser")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.Build(prof); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFaultInjectionRun measures one complete injection experiment
+// (observe + verify runs with golden lockstep).
+func BenchmarkFaultInjectionRun(b *testing.B) {
+	prof, err := workload.ByName("art")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := workload.CachedProgram(prof)
+	if err != nil {
+		b.Fatal(err)
+	}
+	oracle := fault.NewSigOracle(prog)
+	cfg := fault.DefaultConfig()
+	cfg.WindowCycles = 20_000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fault.RunOne(prog, oracle, cfg, fault.Injection{DecodeIndex: 2000 + int64(i%1000), Bit: i % 64}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- extension benchmarks ----
+
+// BenchmarkCheckpointRecovery measures the Section 2.3 extension end to end:
+// a fault installs a corrupted signature on an ITR miss; without
+// checkpointing the machine check aborts, with it the run rolls back and
+// completes.
+func BenchmarkCheckpointRecovery(b *testing.B) {
+	prof, err := workload.ByName("art")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := workload.CachedProgram(prof)
+	if err != nil {
+		b.Fatal(err)
+	}
+	oracle := fault.NewSigOracle(prog)
+	cfg := fault.DefaultConfig()
+	cfg.WindowCycles = 30_000
+	cfg.Checkpoint = true
+	recovered := 0
+	for i := 0; i < b.N; i++ {
+		det, err := fault.RunOne(prog, oracle, cfg, fault.Injection{DecodeIndex: 2000 + int64(i%500), Bit: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if det.CheckpointRecovered {
+			recovered++
+		}
+	}
+	b.ReportMetric(float64(recovered), "ckpt-recoveries")
+}
+
+// BenchmarkRenameProtection measures the rename-unit protection study: the
+// silent-corruption rate without the rename-signature extension and the
+// detection rate with it.
+func BenchmarkRenameProtection(b *testing.B) {
+	prof, err := workload.ByName("art")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := workload.CachedProgram(prof)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := fault.DefaultConfig()
+	cfg.WindowCycles = 30_000
+	for i := 0; i < b.N; i++ {
+		res, err := fault.RunRenameCampaign(prog, cfg, 6, 0x42+uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.SDCWithoutPct(), "sdc-without-ext-%")
+		b.ReportMetric(res.DetectedPct(), "detected-with-ext-%")
+	}
+}
+
+// BenchmarkPCFaults runs the Section 2.5 PC-fault study.
+func BenchmarkPCFaults(b *testing.B) {
+	prof, err := workload.ByName("art")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := workload.CachedProgram(prof)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := fault.DefaultConfig()
+	cfg.WindowCycles = 30_000
+	for i := 0; i < b.N; i++ {
+		res, err := fault.RunPCFaultCampaign(prog, cfg, 8, 0x9+uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Pct(fault.PCDetectedITR), "itr-detected-%")
+	}
+}
+
+// BenchmarkCacheFaults runs the Section 2.4 ITR-cache fault study with
+// parity protection on.
+func BenchmarkCacheFaults(b *testing.B) {
+	prof, err := workload.ByName("art")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := workload.CachedProgram(prof)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := fault.DefaultConfig()
+	cfg.WindowCycles = 30_000
+	for i := 0; i < b.N; i++ {
+		res, err := fault.RunCacheFaultCampaign(prog, cfg, true, 4, 0x3+uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Counts[fault.CacheParityRepaired]), "parity-repairs")
+	}
+}
+
+// BenchmarkPerfComparison measures the Section 5 performance argument: the
+// IPC cost of each frontend-protection scheme on the cycle-level core.
+func BenchmarkPerfComparison(b *testing.B) {
+	profiles := []workload.Profile{}
+	for _, name := range []string{"gap", "swim"} {
+		p, err := workload.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		profiles = append(profiles, p)
+	}
+	for i := 0; i < b.N; i++ {
+		rows, err := report.PerfComparison(profiles, 60_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		slow := 0.0
+		for _, r := range rows {
+			slow += 100 * (1 - r.TimeRedundantIPC/r.BaseIPC)
+		}
+		b.ReportMetric(slow/float64(len(rows)), "time-redundant-slowdown-%")
+	}
+}

@@ -1,0 +1,108 @@
+// Characterize: measure the inherent time redundancy of your own workload —
+// the analysis behind the paper's Figures 1-4 — and predict how well an ITR
+// cache would cover it.
+//
+// The example builds a custom program (a string-search-like workload with a
+// hot inner loop, a medium dispatch loop and a cold error path), runs the
+// trace characterizer over it, and then checks the prediction against an
+// actual coverage simulation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"itr"
+	"itr/internal/core"
+	"itr/internal/isa"
+	"itr/internal/program"
+	"itr/internal/trace"
+	"itr/internal/workload"
+)
+
+func buildCustomWorkload() *program.Program {
+	b := program.NewBuilder("custom")
+	b.OpImm(isa.OpAddi, 1, 0, 10000) // outer iterations
+	b.OpImm(isa.OpAddi, 4, 0, 0x2000)
+	b.Label("outer")
+
+	// Hot inner loop: compare bytes (think strcmp inner loop).
+	b.OpImm(isa.OpAddi, 2, 0, 40)
+	b.Label("scan")
+	b.Load(isa.OpLb, 5, 4, 0)
+	b.Load(isa.OpLb, 6, 4, 64)
+	b.Op(isa.OpSub, 7, 5, 6)
+	b.OpImm(isa.OpAddi, 2, 2, -1)
+	b.Branch(isa.OpBne, 2, 0, "scan")
+
+	// Medium-frequency dispatch work.
+	b.OpImm(isa.OpAddi, 2, 0, 4)
+	b.Label("dispatch")
+	b.Op(isa.OpXor, 8, 8, 7)
+	b.Shift(isa.OpSll, 9, 8, 3)
+	b.Op(isa.OpAdd, 10, 9, 5)
+	b.Store(isa.OpSw, 10, 4, 128)
+	b.OpImm(isa.OpAddi, 2, 2, -1)
+	b.Branch(isa.OpBne, 2, 0, "dispatch")
+
+	// Cold error path, never taken (r3 stays zero).
+	b.Branch(isa.OpBeq, 3, 0, "no_error")
+	for i := 0; i < 30; i++ {
+		b.OpImm(isa.OpAddi, 11, 11, 1)
+	}
+	b.Label("no_error")
+
+	b.OpImm(isa.OpAddi, 1, 1, -1)
+	b.Branch(isa.OpBne, 1, 0, "outer")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
+}
+
+func main() {
+	prog := buildCustomWorkload()
+	const budget = 1_000_000
+
+	// Characterize: static traces, popularity, repeat distances.
+	c := trace.Characterize(prog, budget)
+	fmt.Printf("workload: %d dynamic instructions, %d static traces\n",
+		c.DynamicInstructions(), c.StaticTraces())
+	fmt.Printf("top-10 static traces cover %.1f%% of dynamic instructions\n", c.CoverageAtTopK(10))
+	for _, d := range []int64{100, 500, 1500, 5000} {
+		fmt.Printf("repetitions within %5d instructions cover %.1f%% of dynamic instructions\n",
+			d, c.RepeatFractionWithin(d))
+	}
+
+	// Predict and measure ITR cache coverage for two design points.
+	events, _ := workload.EventsOf(prog, budget)
+	for _, cfg := range []itr.CacheConfig{
+		{Entries: 256, Assoc: 1},
+		itr.DefaultCacheConfig(),
+	} {
+		sim, err := core.NewCoverageSim(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, ev := range events {
+			sim.Access(ev)
+		}
+		r := sim.Result()
+		fmt.Printf("ITR cache %-11s detection loss %.3f%%, recovery loss %.3f%%\n",
+			cfg, r.DetectionLoss, r.RecoveryLoss)
+	}
+
+	// Compare against a published benchmark profile for context.
+	bzip, err := itr.BenchmarkByName("bzip")
+	if err != nil {
+		log.Fatal(err)
+	}
+	bc, err := itr.Characterize(bzip, 1_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("for reference, bzip: %d static traces, %.1f%% of instructions repeat within 500\n",
+		bc.StaticTraces(), bc.RepeatFractionWithin(500))
+}

@@ -1,0 +1,76 @@
+// Designspace: explore the ITR cache design space for one benchmark (the
+// paper's Section 3) and pick the cheapest configuration meeting a coverage
+// target, accounting for energy with the Section 5 model.
+//
+// This is the workflow a processor architect would run: sweep sizes and
+// associativities, look at detection/recovery loss, then weigh the energy
+// of each candidate.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"itr"
+	"itr/internal/energy"
+)
+
+func main() {
+	bench, err := itr.BenchmarkByName("vortex") // the paper's hardest benchmark
+	if err != nil {
+		log.Fatal(err)
+	}
+	const budget = 2_000_000
+	const maxDetectionLoss = 10.0 // target: detect faults in >=90% of instructions
+
+	fmt.Printf("design-space sweep for %s (budget %d instructions)\n\n", bench.Name, budget)
+	fmt.Printf("%-12s %14s %14s %12s\n", "config", "det loss (%)", "rec loss (%)", "nJ/access")
+
+	type candidate struct {
+		cfg    itr.CacheConfig
+		result itr.CoverageResult
+		nj     float64
+	}
+	var best *candidate
+	for _, cfg := range itr.DesignSpace() {
+		res, err := itr.Coverage(bench, cfg, budget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Energy per access for this geometry (64-bit signatures).
+		assoc := cfg.Assoc
+		nj, err := energy.AccessEnergyNJ(energy.CacheSpec{
+			SizeBytes: cfg.Entries * 8,
+			Assoc:     assoc,
+			LineBytes: 8,
+			Ports:     1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %14.2f %14.2f %12.3f\n", cfg, res.DetectionLoss, res.RecoveryLoss, nj)
+
+		if res.DetectionLoss <= maxDetectionLoss {
+			c := candidate{cfg: cfg, result: res, nj: nj}
+			if best == nil || c.nj < best.nj {
+				best = &c
+			}
+		}
+	}
+
+	if best == nil {
+		fmt.Printf("\nno configuration meets the %.0f%% detection-loss target\n", maxDetectionLoss)
+		return
+	}
+	fmt.Printf("\ncheapest configuration meeting <=%.0f%% detection loss: %s\n", maxDetectionLoss, best.cfg)
+	fmt.Printf("  detection loss %.2f%%, recovery loss %.2f%%, %.3f nJ/access\n",
+		best.result.DetectionLoss, best.result.RecoveryLoss, best.nj)
+
+	// How much frontend-protection energy does that save against
+	// re-fetching every instruction (conventional time redundancy)?
+	iNJ, _ := energy.AccessEnergyNJ(energy.Power4ICache)
+	itrMJ := energy.EnergyMJ(best.result.Reads+best.result.Writes, best.nj)
+	redMJ := energy.EnergyMJ(energy.RedundantFetchAccesses(best.result.TotalInsts), iNJ)
+	fmt.Printf("  protection energy: %.2f mJ vs %.2f mJ for redundant fetch (%.1fx less)\n",
+		itrMJ, redMJ, redMJ/itrMJ)
+}

@@ -1,0 +1,3 @@
+module itr
+
+go 1.22

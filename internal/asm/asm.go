@@ -1,0 +1,460 @@
+// Package asm provides a plain-text assembler and disassembler for the
+// synthetic ISA, so test programs and experiment inputs can be written as
+// source files instead of builder calls. The syntax mirrors the
+// disassembly printed by itrdump:
+//
+//	; comments run to end of line
+//	        addi  r1, r0, 100      ; rd, rs1, imm
+//	loop:   mul   r3, r2, r2       ; rd, rs1, rs2
+//	        sd    r3, 8(r4)        ; store: data, offset(base)
+//	        ld    r5, 8(r4)        ; load:  dest, offset(base)
+//	        sll   r6, r5, 3        ; shift: rd, rs1, shamt
+//	        bne   r1, r0, loop     ; branch: rs1, rs2, label
+//	        j     done             ; direct jump to label
+//	done:   halt
+//
+// Labels end with ':' and may share a line with an instruction. Registers
+// are r0-r31 (or f0-f31 for floating point operands — the file is selected
+// by the opcode). Immediates are decimal or 0x-hex, optionally negative.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"itr/internal/isa"
+	"itr/internal/program"
+)
+
+// operand kinds an opcode expects, in source order.
+type form int
+
+const (
+	formNone     form = iota // halt, nop
+	formRRR                  // rd, rs1, rs2
+	formRRI                  // rd, rs1, imm
+	formRI                   // rd, imm (lui)
+	formShift                // rd, rs1, shamt
+	formLoad                 // rd, imm(rs1)
+	formStore                // rs2, imm(rs1)
+	formBranch               // rs1, rs2, label
+	formJump                 // label
+	formJumpLink             // rd, label
+	formJumpReg              // rs1
+	formJumpRegL             // rd, rs1
+	formRR                   // rd, rs1 (fneg, fmov, fcvt)
+)
+
+var opForms = map[string]struct {
+	op   isa.Opcode
+	form form
+}{
+	"nop":  {isa.OpNop, formNone},
+	"halt": {isa.OpHalt, formNone},
+
+	"add": {isa.OpAdd, formRRR}, "sub": {isa.OpSub, formRRR},
+	"and": {isa.OpAnd, formRRR}, "or": {isa.OpOr, formRRR},
+	"xor": {isa.OpXor, formRRR}, "slt": {isa.OpSlt, formRRR},
+	"sltu": {isa.OpSltu, formRRR}, "mul": {isa.OpMul, formRRR},
+	"div": {isa.OpDiv, formRRR},
+
+	"addi": {isa.OpAddi, formRRI}, "andi": {isa.OpAndi, formRRI},
+	"ori": {isa.OpOri, formRRI}, "xori": {isa.OpXori, formRRI},
+	"slti": {isa.OpSlti, formRRI},
+	"lui":  {isa.OpLui, formRI},
+
+	"sll": {isa.OpSll, formShift}, "srl": {isa.OpSrl, formShift},
+	"sra": {isa.OpSra, formShift},
+
+	"lb": {isa.OpLb, formLoad}, "lh": {isa.OpLh, formLoad},
+	"lw": {isa.OpLw, formLoad}, "ld": {isa.OpLd, formLoad},
+	"lwl": {isa.OpLwl, formLoad}, "lwr": {isa.OpLwr, formLoad},
+	"fld": {isa.OpFLd, formLoad},
+	"sb":  {isa.OpSb, formStore}, "sh": {isa.OpSh, formStore},
+	"sw": {isa.OpSw, formStore}, "sd": {isa.OpSd, formStore},
+	"fsd": {isa.OpFSd, formStore},
+
+	"beq": {isa.OpBeq, formBranch}, "bne": {isa.OpBne, formBranch},
+	"blt": {isa.OpBlt, formBranch}, "bge": {isa.OpBge, formBranch},
+	"bltu": {isa.OpBltu, formBranch}, "bgeu": {isa.OpBgeu, formBranch},
+
+	"j": {isa.OpJ, formJump}, "jal": {isa.OpJal, formJumpLink},
+	"jr": {isa.OpJr, formJumpReg}, "jalr": {isa.OpJalr, formJumpRegL},
+
+	"fadd": {isa.OpFAdd, formRRR}, "fsub": {isa.OpFSub, formRRR},
+	"fmul": {isa.OpFMul, formRRR}, "fdiv": {isa.OpFDiv, formRRR},
+	"fcmp": {isa.OpFCmp, formRRR},
+	"fneg": {isa.OpFNeg, formRR}, "fmov": {isa.OpFMov, formRR},
+	"fcvt": {isa.OpFCvt, formRR},
+}
+
+// SyntaxError reports a parse failure with its line number.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("line %d: %s", e.Line, e.Msg)
+}
+
+// Assemble parses source text into a program named name.
+func Assemble(name, src string) (*program.Program, error) {
+	b := program.NewBuilder(name)
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Leading labels (possibly several).
+		for {
+			colon := strings.Index(line, ":")
+			if colon < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:colon])
+			if !isIdent(label) {
+				break
+			}
+			b.Label(label)
+			line = strings.TrimSpace(line[colon+1:])
+		}
+		if line == "" {
+			continue
+		}
+		if err := parseInst(b, line); err != nil {
+			return nil, &SyntaxError{Line: lineNo + 1, Msg: err.Error()}
+		}
+	}
+	return b.Build()
+}
+
+// MustAssemble is Assemble for known-good sources in tests and examples.
+func MustAssemble(name, src string) *program.Program {
+	p, err := Assemble(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func parseInst(b *program.Builder, line string) error {
+	mnemonic := line
+	rest := ""
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		mnemonic, rest = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	spec, ok := opForms[strings.ToLower(mnemonic)]
+	if !ok {
+		return fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	args := splitArgs(rest)
+
+	switch spec.form {
+	case formNone:
+		if len(args) != 0 {
+			return fmt.Errorf("%s takes no operands", mnemonic)
+		}
+		b.Emit(isa.Instruction{Op: spec.op})
+	case formRRR:
+		rd, rs1, rs2, err := reg3(args)
+		if err != nil {
+			return err
+		}
+		b.Op(spec.op, rd, rs1, rs2)
+	case formRR:
+		if len(args) != 2 {
+			return fmt.Errorf("%s wants rd, rs1", mnemonic)
+		}
+		rd, err := reg(args[0])
+		if err != nil {
+			return err
+		}
+		rs1, err := reg(args[1])
+		if err != nil {
+			return err
+		}
+		b.Op(spec.op, rd, rs1, 0)
+	case formRRI:
+		if len(args) != 3 {
+			return fmt.Errorf("%s wants rd, rs1, imm", mnemonic)
+		}
+		rd, err := reg(args[0])
+		if err != nil {
+			return err
+		}
+		rs1, err := reg(args[1])
+		if err != nil {
+			return err
+		}
+		imm, err := immediate(args[2])
+		if err != nil {
+			return err
+		}
+		b.OpImm(spec.op, rd, rs1, imm)
+	case formRI:
+		if len(args) != 2 {
+			return fmt.Errorf("%s wants rd, imm", mnemonic)
+		}
+		rd, err := reg(args[0])
+		if err != nil {
+			return err
+		}
+		imm, err := immediate(args[1])
+		if err != nil {
+			return err
+		}
+		b.OpImm(spec.op, rd, 0, imm)
+	case formShift:
+		if len(args) != 3 {
+			return fmt.Errorf("%s wants rd, rs1, shamt", mnemonic)
+		}
+		rd, err := reg(args[0])
+		if err != nil {
+			return err
+		}
+		rs1, err := reg(args[1])
+		if err != nil {
+			return err
+		}
+		sh, err := immediate(args[2])
+		if err != nil {
+			return err
+		}
+		if sh < 0 || sh > 31 {
+			return fmt.Errorf("shift amount %d out of range", sh)
+		}
+		b.Shift(spec.op, rd, rs1, uint8(sh))
+	case formLoad, formStore:
+		if len(args) != 2 {
+			return fmt.Errorf("%s wants reg, off(base)", mnemonic)
+		}
+		r, err := reg(args[0])
+		if err != nil {
+			return err
+		}
+		off, base, err := memOperand(args[1])
+		if err != nil {
+			return err
+		}
+		if spec.form == formLoad {
+			b.Load(spec.op, r, base, off)
+		} else {
+			b.Store(spec.op, r, base, off)
+		}
+	case formBranch:
+		if len(args) != 3 {
+			return fmt.Errorf("%s wants rs1, rs2, label", mnemonic)
+		}
+		rs1, err := reg(args[0])
+		if err != nil {
+			return err
+		}
+		rs2, err := reg(args[1])
+		if err != nil {
+			return err
+		}
+		if !isIdent(args[2]) {
+			return fmt.Errorf("bad branch target %q", args[2])
+		}
+		b.Branch(spec.op, rs1, rs2, args[2])
+	case formJump:
+		if len(args) != 1 || !isIdent(args[0]) {
+			return fmt.Errorf("%s wants a label", mnemonic)
+		}
+		b.Jump(args[0])
+	case formJumpLink:
+		if len(args) != 2 || !isIdent(args[1]) {
+			return fmt.Errorf("%s wants rd, label", mnemonic)
+		}
+		rd, err := reg(args[0])
+		if err != nil {
+			return err
+		}
+		b.Call(args[1], rd)
+	case formJumpReg:
+		if len(args) != 1 {
+			return fmt.Errorf("%s wants rs1", mnemonic)
+		}
+		rs1, err := reg(args[0])
+		if err != nil {
+			return err
+		}
+		b.Return(rs1)
+	case formJumpRegL:
+		if len(args) != 2 {
+			return fmt.Errorf("%s wants rd, rs1", mnemonic)
+		}
+		rd, err := reg(args[0])
+		if err != nil {
+			return err
+		}
+		rs1, err := reg(args[1])
+		if err != nil {
+			return err
+		}
+		b.Emit(isa.Instruction{Op: spec.op, Rd: rd, Rs1: rs1})
+	}
+	return nil
+}
+
+func splitArgs(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func reg(s string) (isa.RegID, error) {
+	if len(s) < 2 || (s[0] != 'r' && s[0] != 'f' && s[0] != 'R' && s[0] != 'F') {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= isa.NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return isa.RegID(n), nil
+}
+
+func immediate(s string) (int16, error) {
+	v, err := strconv.ParseInt(s, 0, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	if v < -(1<<15) || v >= 1<<16 {
+		return 0, fmt.Errorf("immediate %d out of 16-bit range", v)
+	}
+	return int16(v), nil
+}
+
+// memOperand parses "off(base)".
+func memOperand(s string) (int16, isa.RegID, error) {
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q, want off(base)", s)
+	}
+	offStr := strings.TrimSpace(s[:open])
+	if offStr == "" {
+		offStr = "0"
+	}
+	off, err := immediate(offStr)
+	if err != nil {
+		return 0, 0, err
+	}
+	base, err := reg(strings.TrimSpace(s[open+1 : len(s)-1]))
+	if err != nil {
+		return 0, 0, err
+	}
+	return off, base, nil
+}
+
+// Disassemble renders a program as re-assemblable source with labels for
+// every control-flow target.
+func Disassemble(p *program.Program) string {
+	labels := make(map[uint64]string)
+	nextLabel := 0
+	ensure := func(pc uint64) string {
+		if l, ok := labels[pc]; ok {
+			return l
+		}
+		l := fmt.Sprintf("L%d", nextLabel)
+		nextLabel++
+		labels[pc] = l
+		return l
+	}
+	// First pass: name all targets.
+	for pc, inst := range p.Insts {
+		d := isa.Decode(inst)
+		switch {
+		case inst.Op == isa.OpJ || inst.Op == isa.OpJal:
+			ensure(uint64(inst.Target))
+		case d.IsBranching() && !d.HasFlag(isa.FlagUncond):
+			ensure(uint64(int64(pc) + 1 + int64(int16(inst.Imm))))
+		}
+	}
+	var sb strings.Builder
+	for pc, inst := range p.Insts {
+		if l, ok := labels[uint64(pc)]; ok {
+			fmt.Fprintf(&sb, "%s:\n", l)
+		}
+		sb.WriteString("\t")
+		sb.WriteString(renderInst(p, uint64(pc), inst, labels))
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func renderInst(p *program.Program, pc uint64, inst isa.Instruction, labels map[uint64]string) string {
+	d := isa.Decode(inst)
+	name := inst.Op.String()
+	switch {
+	case inst.Op == isa.OpHalt || inst.Op == isa.OpNop:
+		return name
+	case inst.Op == isa.OpJ:
+		return fmt.Sprintf("%s %s", name, labels[uint64(inst.Target)])
+	case inst.Op == isa.OpJal:
+		return fmt.Sprintf("%s r%d, %s", name, inst.Rd, labels[uint64(inst.Target)])
+	case inst.Op == isa.OpJr:
+		return fmt.Sprintf("%s r%d", name, inst.Rs1)
+	case inst.Op == isa.OpJalr:
+		return fmt.Sprintf("%s r%d, r%d", name, inst.Rd, inst.Rs1)
+	case d.IsBranching():
+		target := uint64(int64(pc) + 1 + int64(int16(inst.Imm)))
+		return fmt.Sprintf("%s r%d, r%d, %s", name, inst.Rs1, inst.Rs2, labels[target])
+	case d.HasFlag(isa.FlagLd):
+		return fmt.Sprintf("%s r%d, %d(r%d)", name, inst.Rd, int16(inst.Imm), inst.Rs1)
+	case d.HasFlag(isa.FlagSt):
+		return fmt.Sprintf("%s r%d, %d(r%d)", name, inst.Rs2, int16(inst.Imm), inst.Rs1)
+	case inst.Op == isa.OpSll || inst.Op == isa.OpSrl || inst.Op == isa.OpSra:
+		return fmt.Sprintf("%s r%d, r%d, %d", name, inst.Rd, inst.Rs1, inst.Shamt)
+	case inst.Op == isa.OpLui:
+		return fmt.Sprintf("%s r%d, %d", name, inst.Rd, int16(inst.Imm))
+	case d.HasFlag(isa.FlagDisp):
+		return fmt.Sprintf("%s r%d, r%d, %d", name, inst.Rd, inst.Rs1, int16(inst.Imm))
+	case inst.Op == isa.OpFNeg || inst.Op == isa.OpFMov || inst.Op == isa.OpFCvt:
+		return fmt.Sprintf("%s r%d, r%d", name, inst.Rd, inst.Rs1)
+	default:
+		return fmt.Sprintf("%s r%d, r%d, r%d", name, inst.Rd, inst.Rs1, inst.Rs2)
+	}
+}
+
+func reg3(args []string) (rd, rs1, rs2 isa.RegID, err error) {
+	if len(args) != 3 {
+		return 0, 0, 0, fmt.Errorf("want rd, rs1, rs2")
+	}
+	if rd, err = reg(args[0]); err != nil {
+		return
+	}
+	if rs1, err = reg(args[1]); err != nil {
+		return
+	}
+	rs2, err = reg(args[2])
+	return
+}

@@ -1,0 +1,199 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"itr/internal/isa"
+	"itr/internal/program"
+)
+
+const loopSrc = `
+; sum of squares
+        addi  r1, r0, 100
+        addi  r4, r0, 0x1000
+loop:   addi  r2, r2, 1
+        mul   r3, r2, r2
+        sd    r3, 8(r4)
+        ld    r5, 8(r4)
+        sll   r6, r5, 2
+        addi  r1, r1, -1
+        bne   r1, r0, loop
+        halt
+`
+
+func TestAssembleAndRun(t *testing.T) {
+	p, err := Assemble("loop", loopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	executed, halted := program.Run(p, 0, nil)
+	if !halted {
+		t.Fatal("did not halt")
+	}
+	// 2 init + 100*7 + halt = 703
+	if executed != 703 {
+		t.Fatalf("executed %d", executed)
+	}
+}
+
+func TestAssembleLabelsAndComments(t *testing.T) {
+	src := `
+start:  addi r1, r0, 1   ; comment
+second: third: add r2, r1, r1 # hash comment
+        beq r0, r0, start
+        halt
+`
+	p, err := Assemble("labels", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 4 {
+		t.Fatalf("len = %d", p.Len())
+	}
+	// Branch to start (pc 0) from pc 2: displacement -3.
+	if got := int16(p.Insts[2].Imm); got != -3 {
+		t.Fatalf("branch displacement %d", got)
+	}
+}
+
+func TestAssembleJumpAndCall(t *testing.T) {
+	src := `
+        jal r31, fn
+        halt
+fn:     addi r5, r0, 7
+        jr r31
+`
+	p, err := Assemble("call", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := isa.NewArchState()
+	program.RunFrom(p, st, 0, nil)
+	if st.R[5] != 7 {
+		t.Fatalf("r5 = %d", st.R[5])
+	}
+}
+
+func TestAssembleFP(t *testing.T) {
+	src := `
+        addi r1, r0, 3
+        fcvt f2, r1
+        fmul f3, f2, f2
+        fsd  f3, 0(r4)
+        halt
+`
+	p, err := Assemble("fp", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[2].Op != isa.OpFMul {
+		t.Fatalf("op = %v", p.Insts[2].Op)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"frob r1, r2, r3\nhalt", "unknown mnemonic"},
+		{"add r1, r2\nhalt", "rd, rs1, rs2"},
+		{"addi r1, r2, banana\nhalt", "bad immediate"},
+		{"addi r99, r0, 1\nhalt", "bad register"},
+		{"lw r1, 8[r4]\nhalt", "memory operand"},
+		{"sll r1, r2, 99\nhalt", "out of range"},
+		{"bne r1, r0, 123bad\nhalt", "branch target"},
+		{"beq r1, r0, nowhere\nhalt", "nowhere"},
+		{"halt r1", "no operands"},
+	}
+	for _, c := range cases {
+		_, err := Assemble("bad", c.src)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("src %q: err = %v, want %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestSyntaxErrorHasLine(t *testing.T) {
+	_, err := Assemble("bad", "addi r1, r0, 1\nbogus x\nhalt")
+	se, ok := err.(*SyntaxError)
+	if !ok || se.Line != 2 {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	p1, err := Assemble("rt", loopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src2 := Disassemble(p1)
+	p2, err := Assemble("rt2", src2)
+	if err != nil {
+		t.Fatalf("re-assemble failed: %v\nsource:\n%s", err, src2)
+	}
+	if p1.Len() != p2.Len() {
+		t.Fatalf("lengths differ: %d vs %d", p1.Len(), p2.Len())
+	}
+	for i := range p1.Insts {
+		if p1.Insts[i] != p2.Insts[i] {
+			t.Fatalf("instruction %d differs: %v vs %v\nsource:\n%s",
+				i, p1.Insts[i], p2.Insts[i], src2)
+		}
+	}
+}
+
+func TestDisassembleBenchmarkFragmentRoundTrips(t *testing.T) {
+	// Round-trip a program containing every addressing form.
+	src := `
+        lui  r4, 16
+        ori  r4, r4, 0
+        addi r1, r0, 5
+top:    lb   r5, 1(r4)
+        lwl  r6, 4(r4)
+        sb   r5, 2(r4)
+        sra  r7, r5, 4
+        slt  r8, r7, r5
+        div  r9, r8, r7
+        jal  r31, sub
+        addi r1, r1, -1
+        bgeu r1, r0, top
+        halt
+sub:    fcvt f1, r1
+        fneg f2, f1
+        fadd f3, f2, f1
+        jr   r31
+`
+	p1, err := Assemble("frag", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Assemble("frag2", Disassemble(p1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1.Insts {
+		if p1.Insts[i] != p2.Insts[i] {
+			t.Fatalf("instruction %d differs: %v vs %v", i, p1.Insts[i], p2.Insts[i])
+		}
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on bad source")
+		}
+	}()
+	MustAssemble("bad", "frob\nhalt")
+}
+
+func TestAssembledProgramOnTraceFormer(t *testing.T) {
+	// The assembled loop forms stable traces (sanity check with the rest
+	// of the stack).
+	p := MustAssemble("loop", loopSrc)
+	if err := program.Verify(p); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,285 @@
+// Package cache implements a generic set-associative cache engine with true
+// LRU replacement. It backs the ITR cache (keys are trace start PCs, values
+// are trace signatures) and the access-counting models used for the energy
+// comparison of the paper's Section 5.
+//
+// Associativity spans the full design space of the paper's Section 3:
+// direct-mapped, 2/4/8/16-way, and fully associative.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Replacement selects a victim line within a set.
+type Replacement int
+
+// Replacement policies.
+const (
+	// ReplLRU evicts the least recently used line (the paper's baseline).
+	ReplLRU Replacement = iota + 1
+	// ReplCheckedLRU prefers evicting the least recently used line whose
+	// Checked flag is set, falling back to plain LRU when no line in the
+	// set is checked. This is the optimization sketched in Section 2.3 to
+	// avoid evicting unreferenced (unchecked) signatures.
+	ReplCheckedLRU
+)
+
+// Line is one cache line. Value semantics are owned by the caller (the ITR
+// layer stores trace signatures).
+type Line struct {
+	Key   uint64
+	Value uint64
+	Valid bool
+	// Referenced records whether the line has hit at least once since it
+	// was inserted. Evicting a line with Referenced == false is exactly the
+	// paper's "eviction of an unreferenced, missed instance" — a loss in
+	// fault detection coverage.
+	Referenced bool
+	// Checked records whether the line's signature has been confirmed
+	// against a newly executed instance (used by ReplCheckedLRU).
+	Checked bool
+	// Aux carries caller-defined per-line metadata (the ITR layer stores
+	// the instruction count of the trace that installed the signature).
+	Aux uint64
+	// Stamp is a caller-defined installation timestamp (the ITR layer
+	// stores the committed-instruction count at install, which the
+	// checkpointing extension compares against checkpoint ages).
+	Stamp int64
+	// Parity is the caller-maintained parity bit over Value (Section 2.4).
+	Parity bool
+
+	lru uint64
+}
+
+// Stats counts cache events since construction or the last ResetStats.
+type Stats struct {
+	Hits                  int64
+	Misses                int64
+	Inserts               int64
+	Evictions             int64
+	EvictionsUnreferenced int64
+}
+
+// Cache is a set-associative cache. Use New to construct one; the zero value
+// is not usable.
+type Cache struct {
+	sets    [][]Line
+	assoc   int
+	numSets int
+	setMask uint64
+	clock   uint64
+	repl    Replacement
+	stats   Stats
+}
+
+// FullyAssociative requests a single set spanning all entries.
+const FullyAssociative = 0
+
+// New returns a cache with the given total entry count and associativity.
+// assoc == FullyAssociative (0) makes the cache fully associative; assoc == 1
+// is direct-mapped. entries must be a positive power of two and divisible by
+// assoc.
+func New(entries, assoc int, repl Replacement) (*Cache, error) {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		return nil, fmt.Errorf("cache entries must be a positive power of two, got %d", entries)
+	}
+	if assoc == FullyAssociative {
+		assoc = entries
+	}
+	if assoc < 0 || assoc > entries || entries%assoc != 0 {
+		return nil, fmt.Errorf("associativity %d incompatible with %d entries", assoc, entries)
+	}
+	if repl != ReplLRU && repl != ReplCheckedLRU {
+		return nil, fmt.Errorf("unknown replacement policy %d", repl)
+	}
+	numSets := entries / assoc
+	c := &Cache{
+		sets:    make([][]Line, numSets),
+		assoc:   assoc,
+		numSets: numSets,
+		setMask: uint64(numSets - 1),
+		repl:    repl,
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]Line, assoc)
+	}
+	return c, nil
+}
+
+// MustNew is New but panics on configuration error; for tests and tables of
+// known-good configurations.
+func MustNew(entries, assoc int, repl Replacement) *Cache {
+	c, err := New(entries, assoc, repl)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Entries returns the total number of lines.
+func (c *Cache) Entries() int { return c.assoc * c.numSets }
+
+// Assoc returns the associativity (ways per set).
+func (c *Cache) Assoc() int { return c.assoc }
+
+// NumSets returns the number of sets.
+func (c *Cache) NumSets() int { return c.numSets }
+
+// Stats returns a copy of the event counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the event counters without touching contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// setIndex maps a key to its set. Keys are trace start PCs (instruction
+// indexes), so low bits index directly as in a hardware PC-indexed structure.
+func (c *Cache) setIndex(key uint64) uint64 { return key & c.setMask }
+
+// Lookup finds key, updating LRU state and the Referenced flag on a hit.
+// The returned pointer stays valid until the line is evicted; callers may
+// update Value/Checked/Parity/Aux through it.
+func (c *Cache) Lookup(key uint64) (*Line, bool) {
+	set := c.sets[c.setIndex(key)]
+	for i := range set {
+		ln := &set[i]
+		if ln.Valid && ln.Key == key {
+			c.clock++
+			ln.lru = c.clock
+			ln.Referenced = true
+			c.stats.Hits++
+			return ln, true
+		}
+	}
+	c.stats.Misses++
+	return nil, false
+}
+
+// Probe finds key without updating LRU, Referenced, or statistics.
+func (c *Cache) Probe(key uint64) (*Line, bool) {
+	set := c.sets[c.setIndex(key)]
+	for i := range set {
+		ln := &set[i]
+		if ln.Valid && ln.Key == key {
+			return ln, true
+		}
+	}
+	return nil, false
+}
+
+// Insert installs (key, value), evicting a victim if the set is full. It
+// returns the evicted line (Valid == true) if an eviction occurred. If key is
+// already present its line is overwritten in place (no eviction).
+func (c *Cache) Insert(key, value uint64) (evicted Line, wasEvicted bool) {
+	c.stats.Inserts++
+	c.clock++
+	si := c.setIndex(key)
+	set := c.sets[si]
+
+	if ln, ok := c.Probe(key); ok {
+		ln.Value = value
+		ln.lru = c.clock
+		return Line{}, false
+	}
+
+	victim := -1
+	for i := range set {
+		if !set[i].Valid {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		victim = c.pickVictim(set)
+		evicted = set[victim]
+		wasEvicted = true
+		c.stats.Evictions++
+		if !evicted.Referenced {
+			c.stats.EvictionsUnreferenced++
+		}
+	}
+	set[victim] = Line{Key: key, Value: value, Valid: true, lru: c.clock}
+	return evicted, wasEvicted
+}
+
+// pickVictim chooses a victim index within a full set per the policy.
+func (c *Cache) pickVictim(set []Line) int {
+	switch c.repl {
+	case ReplCheckedLRU:
+		best := -1
+		for i := range set {
+			if !set[i].Checked {
+				continue
+			}
+			if best < 0 || set[i].lru < set[best].lru {
+				best = i
+			}
+		}
+		if best >= 0 {
+			return best
+		}
+		// No checked line in the set: the optimization breaks down here
+		// (as the paper notes) and we fall back to plain LRU.
+		fallthrough
+	default:
+		best := 0
+		for i := 1; i < len(set); i++ {
+			if set[i].lru < set[best].lru {
+				best = i
+			}
+		}
+		return best
+	}
+}
+
+// Invalidate removes key if present, returning whether it was resident.
+// Invalidations do not count as evictions in the statistics (they model
+// recovery actions such as discarding a parity-faulty ITR line, Section 2.4).
+func (c *Cache) Invalidate(key uint64) bool {
+	if ln, ok := c.Probe(key); ok {
+		*ln = Line{}
+		return true
+	}
+	return false
+}
+
+// Visit calls fn for every valid line. Mutating lines through the pointer is
+// allowed; inserting or invalidating during a visit is not.
+func (c *Cache) Visit(fn func(*Line)) {
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].Valid {
+				fn(&set[i])
+			}
+		}
+	}
+}
+
+// CountUnchecked returns the number of valid lines whose Checked flag is
+// clear. The coarse-grain checkpointing extension (Section 2.3) takes a
+// checkpoint when this reaches zero.
+func (c *Cache) CountUnchecked() int {
+	n := 0
+	c.Visit(func(ln *Line) {
+		if !ln.Checked {
+			n++
+		}
+	})
+	return n
+}
+
+// ResidentUnreferenced returns the number of valid lines never referenced
+// since insertion (still-pending missed instances at end of simulation).
+func (c *Cache) ResidentUnreferenced() int {
+	n := 0
+	c.Visit(func(ln *Line) {
+		if !ln.Referenced {
+			n++
+		}
+	})
+	return n
+}
+
+// Parity64 returns the even-parity bit of v (true when v has odd popcount).
+func Parity64(v uint64) bool { return bits.OnesCount64(v)%2 == 1 }

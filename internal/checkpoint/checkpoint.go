@@ -1,0 +1,141 @@
+// Package checkpoint implements the coarse-grain checkpointing extension of
+// the paper's Section 2.3 (in the spirit of SWICH [6] and Sorin et al. [7]):
+//
+//	"The key idea is to take a coarse-grain checkpoint when there are no
+//	 unchecked lines in the ITR cache. ... Then in cases where the
+//	 lightweight processor flush and restart is not possible, recovery can
+//	 be done by rolling back to the previously taken coarse-grain
+//	 checkpoint instead of aborting the program."
+//
+// A checkpoint is a register-file snapshot plus an undo log of memory words
+// overwritten since the snapshot. Rolling back restores the registers and
+// replays the undo log in reverse.
+//
+// When a rollback is *sufficient* is a policy of the pipeline layer: the
+// paper's literal condition takes checkpoints only when the ITR cache holds
+// no unchecked lines (sound, but run-once code can keep the condition from
+// ever holding); the stamped generalization timestamps every installed
+// signature and rolls back only when the machine-checked line postdates the
+// checkpoint, which proves the corruption is covered by the undo log.
+package checkpoint
+
+import (
+	"fmt"
+
+	"itr/internal/isa"
+)
+
+// wordWrite records one overwritten memory word's previous contents.
+type wordWrite struct {
+	addr uint64 // 8-byte aligned
+	old  uint64
+}
+
+// Stats counts checkpoint events.
+type Stats struct {
+	Taken       int64 // checkpoints established
+	Rollbacks   int64 // successful rollbacks
+	LoggedWords int64 // undo-log entries accumulated (lifetime)
+}
+
+// Manager maintains the active checkpoint over a committed architectural
+// state. It must observe every committed store (BeforeStore) so the undo log
+// stays complete. The zero value is not usable; call New.
+type Manager struct {
+	state *isa.ArchState
+	mem   *isa.Memory
+
+	valid  bool
+	regs   [isa.NumRegs]uint64
+	fregs  [isa.NumRegs]uint64
+	pc     uint64
+	seen   map[uint64]bool // words already logged since the checkpoint
+	undo   []wordWrite
+	commit int64 // committed instructions at checkpoint time
+
+	stats Stats
+}
+
+// New builds a manager over the committed state. mem must be the concrete
+// memory behind state.Mem (the manager reads old word values from it).
+func New(state *isa.ArchState, mem *isa.Memory) (*Manager, error) {
+	if state == nil || mem == nil {
+		return nil, fmt.Errorf("checkpoint: nil state or memory")
+	}
+	return &Manager{state: state, mem: mem, seen: make(map[uint64]bool)}, nil
+}
+
+// Stats returns a copy of the counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// Valid reports whether a checkpoint is available to roll back to.
+func (m *Manager) Valid() bool { return m.valid }
+
+// CommittedAt returns the committed-instruction count of the active
+// checkpoint.
+func (m *Manager) CommittedAt() int64 { return m.commit }
+
+// UndoLogLen returns the current undo-log length (words to restore on
+// rollback).
+func (m *Manager) UndoLogLen() int { return len(m.undo) }
+
+// Take establishes a new checkpoint at the current committed state,
+// discarding the previous one. committed is the committed-instruction count
+// at this point; rollback-safety policy (the paper's "no unchecked lines"
+// condition, or the stamped generalization) is decided by the caller.
+func (m *Manager) Take(committed int64) {
+	m.valid = true
+	m.regs = m.state.R
+	m.fregs = m.state.F
+	m.pc = m.state.PC
+	m.commit = committed
+	m.undo = m.undo[:0]
+	m.seen = make(map[uint64]bool)
+	m.stats.Taken++
+}
+
+// BeforeStore must be called with every committing store's outcome before it
+// is applied to memory; it logs the previous contents of the touched words.
+func (m *Manager) BeforeStore(o isa.Outcome) {
+	if !m.valid || !o.MemWrite || o.MemWSize == 0 {
+		return
+	}
+	addr := o.MemAddr &^ (uint64(o.MemWSize) - 1)
+	wa := addr &^ 7
+	if !m.seen[wa] {
+		m.seen[wa] = true
+		m.undo = append(m.undo, wordWrite{addr: wa, old: m.mem.Load(wa, 8)})
+		m.stats.LoggedWords++
+	}
+}
+
+// Rollback restores the committed state to the active checkpoint: registers,
+// PC and all memory words written since. The checkpoint stays valid (the
+// restored state is exactly the checkpointed state). It returns the
+// checkpoint PC, or ok == false when no checkpoint exists.
+func (m *Manager) Rollback() (restartPC uint64, ok bool) {
+	if !m.valid {
+		return 0, false
+	}
+	m.state.R = m.regs
+	m.state.F = m.fregs
+	m.state.PC = m.pc
+	// Undo in reverse order; with first-write-wins logging the order is
+	// immaterial, but reverse replay stays correct if the logging policy
+	// ever changes.
+	for i := len(m.undo) - 1; i >= 0; i-- {
+		m.mem.Store(m.undo[i].addr, 8, m.undo[i].old)
+	}
+	m.undo = m.undo[:0]
+	m.seen = make(map[uint64]bool)
+	m.stats.Rollbacks++
+	return m.pc, true
+}
+
+// Invalidate drops the active checkpoint (e.g. when the machine gives up on
+// checkpointed recovery).
+func (m *Manager) Invalidate() {
+	m.valid = false
+	m.undo = m.undo[:0]
+	m.seen = make(map[uint64]bool)
+}

@@ -1,0 +1,192 @@
+package checkpoint
+
+import (
+	"testing"
+	"testing/quick"
+
+	"itr/internal/isa"
+)
+
+func newMgr(t *testing.T) (*Manager, *isa.ArchState, *isa.Memory) {
+	t.Helper()
+	mem := isa.NewMemory()
+	st := &isa.ArchState{Mem: mem}
+	m, err := New(st, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, st, mem
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil); err == nil {
+		t.Fatal("nil state accepted")
+	}
+}
+
+func TestTake(t *testing.T) {
+	m, _, _ := newMgr(t)
+	if m.Valid() {
+		t.Fatal("fresh manager has a checkpoint")
+	}
+	m.Take(100)
+	if !m.Valid() || m.CommittedAt() != 100 {
+		t.Fatalf("checkpoint state: valid=%v committedAt=%d", m.Valid(), m.CommittedAt())
+	}
+	if m.Stats().Taken != 1 {
+		t.Fatalf("stats: %+v", m.Stats())
+	}
+}
+
+func TestRollbackRestoresRegisters(t *testing.T) {
+	m, st, _ := newMgr(t)
+	st.R[5] = 42
+	st.F[3] = 99
+	st.PC = 1000
+	m.Take(7)
+
+	st.R[5] = 1
+	st.F[3] = 2
+	st.PC = 2000
+	pc, ok := m.Rollback()
+	if !ok || pc != 1000 {
+		t.Fatalf("rollback: pc=%d ok=%v", pc, ok)
+	}
+	if st.R[5] != 42 || st.F[3] != 99 || st.PC != 1000 {
+		t.Fatalf("registers not restored: r5=%d f3=%d pc=%d", st.R[5], st.F[3], st.PC)
+	}
+}
+
+func TestRollbackRestoresMemory(t *testing.T) {
+	m, st, mem := newMgr(t)
+	mem.Store(0x100, 8, 111)
+	mem.Store(0x200, 8, 222)
+	m.Take(0)
+
+	// Committed stores after the checkpoint, logged via BeforeStore.
+	for _, w := range []isa.Outcome{
+		{MemWrite: true, MemAddr: 0x100, MemWSize: 8, MemWData: 999},
+		{MemWrite: true, MemAddr: 0x300, MemWSize: 4, MemWData: 333},
+		{MemWrite: true, MemAddr: 0x100, MemWSize: 1, MemWData: 0xff}, // same word again
+	} {
+		m.BeforeStore(w)
+		st.Mem.Store(w.MemAddr, w.MemWSize, w.MemWData)
+	}
+	if mem.Load(0x100, 8) == 111 {
+		t.Fatal("test setup: stores did not apply")
+	}
+	if _, ok := m.Rollback(); !ok {
+		t.Fatal("rollback failed")
+	}
+	if got := mem.Load(0x100, 8); got != 111 {
+		t.Fatalf("word 0x100 = %d, want 111", got)
+	}
+	if got := mem.Load(0x200, 8); got != 222 {
+		t.Fatalf("untouched word changed: %d", got)
+	}
+	if got := mem.Load(0x300, 8); got != 0 {
+		t.Fatalf("post-checkpoint word not undone: %d", got)
+	}
+}
+
+func TestUndoLogDeduplicatesWords(t *testing.T) {
+	m, st, _ := newMgr(t)
+	m.Take(0)
+	w := isa.Outcome{MemWrite: true, MemAddr: 0x100, MemWSize: 8, MemWData: 1}
+	for i := 0; i < 10; i++ {
+		m.BeforeStore(w)
+		st.Mem.Store(w.MemAddr, w.MemWSize, uint64(i))
+	}
+	if m.UndoLogLen() != 1 {
+		t.Fatalf("undo log = %d entries, want 1 (first write wins)", m.UndoLogLen())
+	}
+}
+
+func TestRollbackWithoutCheckpoint(t *testing.T) {
+	m, _, _ := newMgr(t)
+	if _, ok := m.Rollback(); ok {
+		t.Fatal("rollback without checkpoint succeeded")
+	}
+}
+
+func TestCheckpointRemainsValidAfterRollback(t *testing.T) {
+	m, st, _ := newMgr(t)
+	st.R[1] = 5
+	m.Take(0)
+	st.R[1] = 9
+	m.Rollback()
+	st.R[1] = 13
+	if _, ok := m.Rollback(); !ok {
+		t.Fatal("second rollback to the same checkpoint failed")
+	}
+	if st.R[1] != 5 {
+		t.Fatalf("r1 = %d, want 5", st.R[1])
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	m, _, _ := newMgr(t)
+	m.Take(0)
+	m.Invalidate()
+	if m.Valid() {
+		t.Fatal("still valid after invalidate")
+	}
+	if _, ok := m.Rollback(); ok {
+		t.Fatal("rollback after invalidate succeeded")
+	}
+}
+
+func TestTakeResetsUndoLog(t *testing.T) {
+	m, st, _ := newMgr(t)
+	m.Take(0)
+	w := isa.Outcome{MemWrite: true, MemAddr: 0x100, MemWSize: 8, MemWData: 1}
+	m.BeforeStore(w)
+	st.Mem.Store(w.MemAddr, w.MemWSize, w.MemWData)
+	m.Take(10)
+	if m.UndoLogLen() != 0 {
+		t.Fatalf("undo log survived a new checkpoint: %d", m.UndoLogLen())
+	}
+	// Rolling back now must keep the newer value (it predates no logged
+	// write).
+	m.Rollback()
+	if got := st.Mem.Load(0x100, 8); got != 1 {
+		t.Fatalf("newer checkpoint rolled back too far: %d", got)
+	}
+}
+
+// Property: for any sequence of stores after a checkpoint, rollback restores
+// every touched word to its checkpointed contents.
+func TestPropertyRollbackIsExact(t *testing.T) {
+	if err := quick.Check(func(seed []uint16) bool {
+		m, st, mem := newMgr(t)
+		// Pre-checkpoint contents.
+		for i, v := range seed {
+			mem.Store(uint64(i)*8, 8, uint64(v))
+		}
+		before := make(map[uint64]uint64)
+		for i := range seed {
+			before[uint64(i)*8] = mem.Load(uint64(i)*8, 8)
+		}
+		m.Take(0)
+		// Post-checkpoint stores to overlapping addresses.
+		for i, v := range seed {
+			o := isa.Outcome{
+				MemWrite: true,
+				MemAddr:  uint64(v%64) * 8,
+				MemWSize: []uint8{1, 2, 4, 8}[i%4],
+				MemWData: uint64(i) * 31,
+			}
+			m.BeforeStore(o)
+			st.Mem.Store(o.MemAddr, o.MemWSize, o.MemWData)
+		}
+		m.Rollback()
+		for addr, want := range before {
+			if mem.Load(addr, 8) != want {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

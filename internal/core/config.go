@@ -1,0 +1,97 @@
+// Package core implements the paper's contribution: the ITR cache, the ITR
+// ROB, trace-signature checking with flush-and-retry recovery, and the
+// fault-coverage accounting of Section 3.
+//
+// Two entry points exist, matching the paper's two evaluations:
+//
+//   - CoverageSim consumes a trace-event stream and measures loss in fault
+//     detection coverage and fault recovery coverage for a cache
+//     configuration (Figures 6 and 7).
+//   - Checker implements the full dispatch/commit protocol of Section 2.2
+//     (chk/miss/retry control bits, retry flush, machine check, parity
+//     recovery) and is driven by the cycle-level pipeline for the fault
+//     injection experiments (Figure 8).
+package core
+
+import (
+	"fmt"
+
+	"itr/internal/cache"
+)
+
+// Config describes an ITR cache configuration point in the design space of
+// Section 3.
+type Config struct {
+	// Entries is the number of signatures the ITR cache holds
+	// (the paper explores 256, 512 and 1024).
+	Entries int
+	// Assoc is the associativity: 1 = direct mapped,
+	// cache.FullyAssociative (0) = fully associative.
+	Assoc int
+	// Replacement selects the victim policy (default LRU; CheckedLRU is the
+	// Section 2.3 ablation).
+	Replacement cache.Replacement
+	// Parity enables per-line parity protection of cached signatures
+	// (Section 2.4), turning ITR-cache line faults from machine checks into
+	// recoverable invalidations.
+	Parity bool
+	// MissFallback enables the Section 3 extension: on an ITR cache miss
+	// the trace is redundantly fetched and decoded, restoring recovery
+	// coverage at an energy cost.
+	MissFallback bool
+}
+
+// DefaultConfig is the paper's headline configuration: a two-way
+// set-associative ITR cache holding 1024 signatures (Sections 4 and 5).
+func DefaultConfig() Config {
+	return Config{Entries: 1024, Assoc: 2, Replacement: cache.ReplLRU}
+}
+
+// normalize fills zero-value defaults.
+func (c Config) normalize() Config {
+	if c.Entries == 0 {
+		c.Entries = 1024
+	}
+	if c.Replacement == 0 {
+		c.Replacement = cache.ReplLRU
+	}
+	return c
+}
+
+// NewCache builds the ITR cache for this configuration.
+func (c Config) NewCache() (*cache.Cache, error) {
+	n := c.normalize()
+	cc, err := cache.New(n.Entries, n.Assoc, n.Replacement)
+	if err != nil {
+		return nil, fmt.Errorf("itr cache: %w", err)
+	}
+	return cc, nil
+}
+
+// String renders the configuration like the paper's figure labels, e.g.
+// "2-way/1024" or "dm/256" or "fa/512".
+func (c Config) String() string {
+	n := c.normalize()
+	switch n.Assoc {
+	case cache.FullyAssociative:
+		return fmt.Sprintf("fa/%d", n.Entries)
+	case 1:
+		return fmt.Sprintf("dm/%d", n.Entries)
+	default:
+		return fmt.Sprintf("%d-way/%d", n.Assoc, n.Entries)
+	}
+}
+
+// DesignSpace returns the 18 configurations of the paper's Section 3 sweep:
+// sizes {256, 512, 1024} x associativity {dm, 2, 4, 8, 16, fa}.
+func DesignSpace() []Config {
+	sizes := []int{256, 512, 1024}
+	assocs := []int{1, 2, 4, 8, 16, cache.FullyAssociative}
+	configs := make([]Config, 0, len(sizes)*len(assocs))
+	for _, a := range assocs {
+		for _, s := range sizes {
+			configs = append(configs, Config{Entries: s, Assoc: a, Replacement: cache.ReplLRU})
+		}
+	}
+	return configs
+}

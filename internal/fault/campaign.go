@@ -1,0 +1,161 @@
+package fault
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"itr/internal/isa"
+	"itr/internal/pipeline"
+	"itr/internal/program"
+	"itr/internal/stats"
+)
+
+// CampaignConfig parameterizes a Figure 8 campaign on one benchmark.
+type CampaignConfig struct {
+	// Faults is the number of injections (the paper uses 1000 per
+	// benchmark).
+	Faults int
+	// Seed makes injection sampling reproducible.
+	Seed uint64
+	// Experiment configures each injection run.
+	Experiment Config
+	// Workers bounds parallel experiments (default: GOMAXPROCS).
+	Workers int
+}
+
+// DefaultCampaignConfig returns a scaled-down campaign (raise Faults to 1000
+// and Experiment.WindowCycles to 1M for paper fidelity).
+func DefaultCampaignConfig() CampaignConfig {
+	return CampaignConfig{
+		Faults:     100,
+		Seed:       0x17b,
+		Experiment: DefaultConfig(),
+	}
+}
+
+// CampaignResult aggregates one benchmark's injections.
+type CampaignResult struct {
+	Benchmark string
+	Total     int
+	Counts    map[Category]int
+	// ByField tallies injections by the Table 2 field hit.
+	ByField map[string]int
+	// RecoveryConfirmed counts recoverable detections whose verify run
+	// actually recovered (retry matched, no machine check, no SDC).
+	RecoveryConfirmed int
+	RecoveryAttempted int
+	// CheckpointRecovered counts detection-only faults (the ITR+SDC+D
+	// class) that the checkpointing extension converted into rollbacks.
+	CheckpointRecovered int
+	Details             []Detail
+}
+
+// Pct returns the percentage of injections in category c.
+func (r CampaignResult) Pct(c Category) float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return 100 * float64(r.Counts[c]) / float64(r.Total)
+}
+
+// DetectedPct returns the percentage of injections detected through the ITR
+// cache (the paper reports 95.4% on average).
+func (r CampaignResult) DetectedPct() float64 {
+	return r.Pct(ITRMask) + r.Pct(ITRSDCR) + r.Pct(ITRSDCD) + r.Pct(ITRWdogR)
+}
+
+func (r CampaignResult) String() string {
+	return fmt.Sprintf("%s: %d faults, %.1f%% ITR-detected", r.Benchmark, r.Total, r.DetectedPct())
+}
+
+// RunCampaign injects cfg.Faults random decode-signal faults into prog and
+// classifies each. Injection points are sampled uniformly over the decode
+// events of a profiling run covering the observation window, so every fault
+// lands with room to be observed.
+func RunCampaign(name string, prog *program.Program, cfg CampaignConfig) (CampaignResult, error) {
+	res := CampaignResult{
+		Benchmark: name,
+		Counts:    make(map[Category]int),
+		ByField:   make(map[string]int),
+	}
+	if cfg.Faults <= 0 {
+		return res, fmt.Errorf("campaign: non-positive fault count %d", cfg.Faults)
+	}
+
+	// Profile the decode-event space once, fault-free.
+	pcfg := cfg.Experiment.Pipeline
+	pcfg.ITREnabled = true
+	pcfg.ITR = cfg.Experiment.ITR
+	profCPU, err := pipeline.New(prog, pcfg)
+	if err != nil {
+		return res, fmt.Errorf("campaign profile: %w", err)
+	}
+	profCPU.Run(cfg.Experiment.WindowCycles)
+	decodeSpace := profCPU.DecodeEvents()
+	if decodeSpace < 100 {
+		return res, fmt.Errorf("campaign: window too small (%d decode events)", decodeSpace)
+	}
+
+	// Sample injections: decode index in the first half of the window so
+	// every fault has at least half the window of observation; bit uniform
+	// over the 64 Table 2 signal bits.
+	rng := stats.NewRNG(cfg.Seed)
+	lo := decodeSpace / 20
+	hi := decodeSpace / 2
+	injections := make([]Injection, cfg.Faults)
+	for i := range injections {
+		injections[i] = Injection{
+			DecodeIndex: lo + int64(rng.Uint64n(uint64(hi-lo))),
+			Bit:         rng.Intn(isa.SignalBits),
+		}
+	}
+
+	oracle := NewSigOracle(prog)
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Faults {
+		workers = cfg.Faults
+	}
+
+	details := make([]Detail, cfg.Faults)
+	errs := make([]error, cfg.Faults)
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				details[i], errs[i] = RunOne(prog, oracle, cfg.Experiment, injections[i])
+			}
+		}()
+	}
+	for i := range injections {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	for i, d := range details {
+		if errs[i] != nil {
+			return res, fmt.Errorf("fault %d: %w", i, errs[i])
+		}
+		res.Total++
+		res.Counts[d.Category]++
+		res.ByField[d.Injection.Field()]++
+		if d.Verified && d.Detected && d.Recoverable {
+			res.RecoveryAttempted++
+			if d.RecoveredInFull && !d.MachineCheck && !d.SDCUnderITR {
+				res.RecoveryConfirmed++
+			}
+		}
+		if d.CheckpointRecovered {
+			res.CheckpointRecovered++
+		}
+	}
+	res.Details = details
+	return res, nil
+}

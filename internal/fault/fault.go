@@ -1,0 +1,314 @@
+// Package fault implements the paper's Section 4 fault-injection
+// methodology: random single-bit flips on the decode signals of one dynamic
+// instruction, a golden (fault-free) simulator run in lockstep with the
+// faulty simulator, and classification of each injection into the ten
+// outcome categories of Figure 8.
+//
+// Each injection is evaluated with two pipeline runs:
+//
+//   - an *observe* run (core.ModeObserve): ITR records detections but never
+//     recovers, exposing the fault's natural outcome — silent data
+//     corruption (SDC), deadlock (wdog), or masked — alongside whether and
+//     how ITR would have detected it;
+//   - an optional *verify* run (core.ModeFull): the complete protocol, used
+//     to confirm that recoverable detections actually recover (flush and
+//     restart) and unrecoverable ones raise machine checks.
+package fault
+
+import (
+	"fmt"
+	"sync"
+
+	"itr/internal/cache"
+	"itr/internal/core"
+	"itr/internal/isa"
+	"itr/internal/pipeline"
+	"itr/internal/program"
+	"itr/internal/sig"
+)
+
+// Category is one Figure 8 outcome class.
+type Category string
+
+// The ten Figure 8 categories, in the paper's legend order.
+const (
+	ITRMask    Category = "ITR+Mask"    // detected by ITR; fault architecturally masked
+	ITRSDCD    Category = "ITR+SDC+D"   // detected; state corrupted; detection only
+	ITRSDCR    Category = "ITR+SDC+R"   // detected; would have been SDC; recoverable
+	ITRWdogR   Category = "ITR+wdog+R"  // detected; would have deadlocked; recovered
+	MayITRMask Category = "MayITR+Mask" // undetected in window; faulty signature still cached
+	MayITRSDC  Category = "MayITR+SDC"
+	SpcSDC     Category = "spc+SDC" // caught only by the sequential-PC check
+	UndetMask  Category = "Undet+Mask"
+	UndetWdog  Category = "Undet+wdog"
+	UndetSDC   Category = "Undet+SDC"
+)
+
+// Categories lists all outcome classes in the paper's legend order.
+func Categories() []Category {
+	return []Category{
+		UndetSDC, UndetWdog, UndetMask, SpcSDC,
+		MayITRSDC, MayITRMask,
+		ITRWdogR, ITRSDCR, ITRSDCD, ITRMask,
+	}
+}
+
+// Injection names a single-event upset: flip Bit of the packed decode-signal
+// word of decode event DecodeIndex (Table 2 fault model).
+type Injection struct {
+	DecodeIndex int64
+	Bit         int
+}
+
+// Field returns the Table 2 field the injection lands in.
+func (in Injection) Field() string { return isa.SignalField(in.Bit) }
+
+// Detail carries everything observed for one injection.
+type Detail struct {
+	Injection Injection
+	Category  Category
+
+	// Observe-run facts.
+	Detected       bool
+	Recoverable    bool // the mismatching access was the faulty instance
+	NaturalSDC     bool
+	Deadlock       bool
+	SpcFired       bool
+	Halted         bool
+	FaultyResident bool // faulty signature still in ITR cache at window end
+
+	// Verify-run facts (zero value when verification is disabled).
+	Verified        bool
+	RecoveredInFull bool // full protocol recovered (retry matched)
+	MachineCheck    bool // full protocol aborted the program
+	SDCUnderITR     bool // state still corrupted despite full protocol
+	// CheckpointRecovered: the verify run converted a machine check into a
+	// coarse-grain checkpoint rollback and the reference stream stayed
+	// clean afterwards (Section 2.3 extension).
+	CheckpointRecovered bool
+}
+
+// SigOracle computes fault-free trace signatures by static walk, memoizing
+// per start PC. It answers "which side of a mismatch was faulty".
+type SigOracle struct {
+	prog *program.Program
+	mu   sync.Mutex
+	memo map[uint64]uint64
+}
+
+// NewSigOracle builds an oracle for prog.
+func NewSigOracle(prog *program.Program) *SigOracle {
+	return &SigOracle{prog: prog, memo: make(map[uint64]uint64)}
+}
+
+// TrueSig returns the fault-free signature of the static trace starting at
+// pc, replicating the trace-formation rule (terminate on branch or at 16).
+func (o *SigOracle) TrueSig(pc uint64) uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if v, ok := o.memo[pc]; ok {
+		return v
+	}
+	var acc sig.Accumulator
+	cur := pc
+	for {
+		d := isa.Decode(o.prog.Fetch(cur))
+		acc.AddSignals(d)
+		if d.IsBranching() || acc.Full() || d.Opcode == isa.OpHalt {
+			break
+		}
+		cur++
+	}
+	o.memo[pc] = acc.Value()
+	return acc.Value()
+}
+
+// golden is the lockstep fault-free reference execution attached to a
+// pipeline's commit stream. It supports snapshot/restore so checkpointed
+// pipelines can rewind the reference alongside the machine.
+type golden struct {
+	st       *isa.ArchState
+	mem      *isa.Memory
+	prog     *program.Program
+	diverged bool
+
+	snapValid    bool
+	snapR        [isa.NumRegs]uint64
+	snapF        [isa.NumRegs]uint64
+	snapPC       uint64
+	snapMem      *isa.Memory
+	snapDiverged bool
+}
+
+func newGolden(prog *program.Program) *golden {
+	mem := isa.NewMemory()
+	g := &golden{st: &isa.ArchState{Mem: mem}, mem: mem, prog: prog}
+	g.st.PC = prog.Entry
+	return g
+}
+
+// checkpoint mirrors the pipeline's checkpoint lifecycle: snapshot the
+// reference on take, restore it on rollback.
+func (g *golden) checkpoint(taken bool) {
+	if taken {
+		g.snapValid = true
+		g.snapR = g.st.R
+		g.snapF = g.st.F
+		g.snapPC = g.st.PC
+		g.snapMem = g.mem.Clone()
+		g.snapDiverged = g.diverged
+		return
+	}
+	if !g.snapValid {
+		return
+	}
+	g.st.R = g.snapR
+	g.st.F = g.snapF
+	g.st.PC = g.snapPC
+	g.mem = g.snapMem.Clone()
+	g.st.Mem = g.mem
+	g.diverged = g.snapDiverged
+}
+
+// observe compares one committed instruction against the reference.
+func (g *golden) observe(pc uint64, o isa.Outcome) {
+	if g.diverged {
+		return
+	}
+	if pc != g.st.PC {
+		g.diverged = true
+		return
+	}
+	want := g.st.Step(g.prog.Fetch(pc))
+	if !o.SameArchEffect(want) {
+		g.diverged = true
+	}
+}
+
+// Config parameterizes a single-injection experiment.
+type Config struct {
+	ITR          core.Config
+	Pipeline     pipeline.Config // ITR fields are overridden per run
+	WindowCycles int64           // observation window (paper: 1M cycles)
+	Verify       bool            // run the full-protocol confirmation pass
+	// Checkpoint enables the Section 2.3 coarse-grain checkpointing
+	// extension in the verify run, upgrading detection-only machine checks
+	// into rollbacks when the corruption postdates the last checkpoint.
+	Checkpoint bool
+}
+
+// DefaultConfig mirrors the paper's Section 4 setup (two-way 1024-signature
+// ITR cache) with a window scaled for quick runs; raise WindowCycles to 1M
+// for paper-fidelity campaigns.
+func DefaultConfig() Config {
+	return Config{
+		ITR:          core.DefaultConfig(),
+		Pipeline:     pipeline.DefaultConfig(),
+		WindowCycles: 250_000,
+		Verify:       true,
+	}
+}
+
+// RunOne performs one injection experiment and classifies it.
+func RunOne(prog *program.Program, oracle *SigOracle, cfg Config, inj Injection) (Detail, error) {
+	det := Detail{Injection: inj}
+
+	// ---- observe run: natural outcome + detection facts ----
+	pcfg := cfg.Pipeline
+	pcfg.ITREnabled = true
+	pcfg.ITR = cfg.ITR
+	pcfg.ITRMode = core.ModeObserve
+	cpu, err := pipeline.New(prog, pcfg)
+	if err != nil {
+		return det, fmt.Errorf("observe run: %w", err)
+	}
+	g := newGolden(prog)
+	cpu.SetCommitObserver(g.observe)
+	cpu.SetFaultHook(hook(inj))
+	res := cpu.Run(cfg.WindowCycles)
+
+	det.NaturalSDC = g.diverged
+	det.Deadlock = res.Termination == pipeline.TermDeadlock
+	det.Halted = res.Termination == pipeline.TermHalt
+	det.SpcFired = res.SpcFired > 0
+
+	detections := cpu.Checker().Detections()
+	det.Detected = len(detections) > 0
+	if det.Detected {
+		first := detections[0]
+		det.Recoverable = first.AccessSig != oracle.TrueSig(first.StartPC)
+	}
+	// MayITR: a faulty signature resident at window end (paper footnote 1).
+	cpu.Checker().Cache().Visit(func(ln *cache.Line) {
+		if ln.Value != oracle.TrueSig(ln.Key) {
+			det.FaultyResident = true
+		}
+	})
+
+	det.Category = classify(det)
+
+	// ---- verify run: confirm the recovery story under the full protocol ----
+	if cfg.Verify && det.Detected {
+		pcfg.ITRMode = core.ModeFull
+		pcfg.CheckpointEnabled = cfg.Checkpoint
+		vcpu, err := pipeline.New(prog, pcfg)
+		if err != nil {
+			return det, fmt.Errorf("verify run: %w", err)
+		}
+		vg := newGolden(prog)
+		vcpu.SetCommitObserver(vg.observe)
+		vcpu.SetFaultHook(hook(inj))
+		if cfg.Checkpoint {
+			vcpu.SetCheckpointObserver(vg.checkpoint)
+		}
+		vres := vcpu.Run(cfg.WindowCycles)
+		det.Verified = true
+		det.RecoveredInFull = vcpu.Checker().Stats().Recoveries > 0
+		det.MachineCheck = vres.Termination == pipeline.TermMachineCheck
+		det.SDCUnderITR = vg.diverged
+		det.CheckpointRecovered = cfg.Checkpoint && vres.CheckpointRollbacks > 0 &&
+			!det.MachineCheck && !vg.diverged
+	}
+	return det, nil
+}
+
+// hook returns a FaultHook flipping the injection's bit exactly once.
+func hook(inj Injection) pipeline.FaultHook {
+	done := false
+	return func(i int64, pc uint64, wrongPath bool, d isa.DecodeSignals) isa.DecodeSignals {
+		if !done && i == inj.DecodeIndex {
+			done = true
+			return d.FlipBit(inj.Bit)
+		}
+		return d
+	}
+}
+
+// classify maps observed facts to the Figure 8 category.
+func classify(d Detail) Category {
+	mask := !d.NaturalSDC && !d.Deadlock
+	switch {
+	case d.Detected && d.Deadlock:
+		return ITRWdogR
+	case d.Detected && d.NaturalSDC && d.Recoverable:
+		return ITRSDCR
+	case d.Detected && d.NaturalSDC:
+		return ITRSDCD
+	case d.Detected:
+		return ITRMask
+	case d.FaultyResident && d.NaturalSDC:
+		return MayITRSDC
+	case d.FaultyResident:
+		return MayITRMask
+	case d.SpcFired && d.NaturalSDC:
+		return SpcSDC
+	case d.NaturalSDC:
+		return UndetSDC
+	case d.Deadlock:
+		return UndetWdog
+	case mask:
+		return UndetMask
+	default:
+		return UndetMask
+	}
+}

@@ -1,0 +1,166 @@
+package fault
+
+import (
+	"fmt"
+
+	"itr/internal/core"
+	"itr/internal/isa"
+	"itr/internal/pipeline"
+	"itr/internal/program"
+	"itr/internal/stats"
+)
+
+// isaRegID aliases the register type for brevity in the hook.
+func isaRegID(v uint8) isa.RegID { return isa.RegID(v) }
+
+// RenameInjection names a single-event upset on the rename-map index logic:
+// XOR the chosen index of decode event DecodeIndex with Mask.
+type RenameInjection struct {
+	DecodeIndex int64
+	Operand     int   // 0 = src1, 1 = src2, 2 = dst
+	Mask        uint8 // non-zero, 5 bits
+}
+
+// RenameCampaignResult quantifies the rename-protection extension: how many
+// rename-unit faults the frontend signature misses, and how many the rename
+// signature detects and recovers.
+type RenameCampaignResult struct {
+	Total int
+	// Without the extension (frontend ITR only):
+	SDCWithoutExtension int // architectural corruption, undetected
+	MaskedWithout       int
+	FrontendDetected    int // should stay 0: the signals are uncorrupted
+	// With the extension:
+	DetectedWithExtension  int
+	RecoveredWithExtension int
+	SDCWithExtension       int // corruption that still slipped through
+}
+
+// Pct helpers.
+func (r RenameCampaignResult) pct(n int) float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(r.Total)
+}
+
+// SDCWithoutPct returns the silent-corruption rate with only frontend ITR.
+func (r RenameCampaignResult) SDCWithoutPct() float64 { return r.pct(r.SDCWithoutExtension) }
+
+// DetectedPct returns the detection rate with the rename extension.
+func (r RenameCampaignResult) DetectedPct() float64 { return r.pct(r.DetectedWithExtension) }
+
+// renameHook builds the one-shot index corruption.
+func renameHook(inj RenameInjection) pipeline.RenameFaultHook {
+	done := false
+	return func(i int64, ri pipeline.RenameIndexes) pipeline.RenameIndexes {
+		if done || i != inj.DecodeIndex {
+			return ri
+		}
+		done = true
+		m := inj.Mask & 0x1f
+		if m == 0 {
+			m = 1
+		}
+		switch inj.Operand % 3 {
+		case 0:
+			ri.Src1 ^= isaRegID(m)
+		case 1:
+			ri.Src2 ^= isaRegID(m)
+		default:
+			ri.Dst ^= isaRegID(m)
+		}
+		return ri
+	}
+}
+
+// RunRenameFault evaluates one rename-index upset with and without the
+// rename-protection extension.
+func RunRenameFault(prog *program.Program, cfg Config, inj RenameInjection) (withoutSDC, frontendDetected, detected, recovered, withSDC bool, err error) {
+	// Pass 1: frontend ITR only, observe mode — the paper's baseline.
+	pcfg := cfg.Pipeline
+	pcfg.ITREnabled = true
+	pcfg.ITR = cfg.ITR
+	pcfg.ITRMode = core.ModeObserve
+	cpu, err := pipeline.New(prog, pcfg)
+	if err != nil {
+		return false, false, false, false, false, fmt.Errorf("rename fault baseline: %w", err)
+	}
+	g := newGolden(prog)
+	cpu.SetCommitObserver(g.observe)
+	cpu.SetRenameFaultHook(renameHook(inj))
+	cpu.Run(cfg.WindowCycles)
+	withoutSDC = g.diverged
+	frontendDetected = len(cpu.Checker().Detections()) > 0
+
+	// Pass 2: rename extension attached, full protocol.
+	pcfg.ITRMode = core.ModeFull
+	pcfg.RenameITREnabled = true
+	vcpu, err := pipeline.New(prog, pcfg)
+	if err != nil {
+		return false, false, false, false, false, fmt.Errorf("rename fault extension: %w", err)
+	}
+	vg := newGolden(prog)
+	vcpu.SetCommitObserver(vg.observe)
+	vcpu.SetRenameFaultHook(renameHook(inj))
+	vcpu.Run(cfg.WindowCycles)
+	rst := vcpu.RenameChecker().Stats()
+	detected = rst.Mismatches > 0
+	recovered = rst.Recoveries > 0
+	withSDC = vg.diverged
+	return withoutSDC, frontendDetected, detected, recovered, withSDC, nil
+}
+
+// RunRenameCampaign injects n randomized rename-index faults.
+func RunRenameCampaign(prog *program.Program, cfg Config, n int, seed uint64) (RenameCampaignResult, error) {
+	var res RenameCampaignResult
+	if n <= 0 {
+		return res, fmt.Errorf("rename campaign: non-positive count %d", n)
+	}
+	// Profile the decode-event space (as the main campaign does).
+	pcfg := cfg.Pipeline
+	pcfg.ITREnabled = true
+	pcfg.ITR = cfg.ITR
+	prof, err := pipeline.New(prog, pcfg)
+	if err != nil {
+		return res, err
+	}
+	prof.Run(cfg.WindowCycles)
+	space := prof.DecodeEvents()
+	if space < 100 {
+		return res, fmt.Errorf("rename campaign: window too small (%d decode events)", space)
+	}
+
+	rng := stats.NewRNG(seed)
+	lo, hi := space/20, space/2
+	for i := 0; i < n; i++ {
+		inj := RenameInjection{
+			DecodeIndex: lo + int64(rng.Uint64n(uint64(hi-lo))),
+			Operand:     rng.Intn(3),
+			Mask:        uint8(1 + rng.Intn(31)),
+		}
+		withoutSDC, fed, det, rec, withSDC, err := RunRenameFault(prog, cfg, inj)
+		if err != nil {
+			return res, err
+		}
+		res.Total++
+		if withoutSDC {
+			res.SDCWithoutExtension++
+		} else {
+			res.MaskedWithout++
+		}
+		if fed {
+			res.FrontendDetected++
+		}
+		if det {
+			res.DetectedWithExtension++
+		}
+		if rec {
+			res.RecoveredWithExtension++
+		}
+		if withSDC {
+			res.SDCWithExtension++
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,66 @@
+package fault
+
+import "testing"
+
+func TestRenameFaultBlindSpotAndFix(t *testing.T) {
+	p := testProgram(t)
+	cfg := quickConfig()
+	// Find an injection causing SDC without the extension.
+	var chosen *RenameInjection
+	for idx := int64(300); idx < 330 && chosen == nil; idx++ {
+		inj := RenameInjection{DecodeIndex: idx, Operand: 0, Mask: 0x1f}
+		withoutSDC, fed, _, _, _, err := RunRenameFault(p, cfg, inj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fed {
+			t.Fatal("frontend ITR detected a pure rename fault")
+		}
+		if withoutSDC {
+			c := inj
+			chosen = &c
+		}
+	}
+	if chosen == nil {
+		t.Fatal("no rename injection produced an SDC")
+	}
+	_, _, det, rec, withSDC, err := RunRenameFault(p, cfg, *chosen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !det || !rec {
+		t.Fatalf("extension missed the fault: detected=%v recovered=%v", det, rec)
+	}
+	if withSDC {
+		t.Fatal("extension failed to prevent the corruption")
+	}
+}
+
+func TestRenameCampaign(t *testing.T) {
+	p := testProgram(t)
+	cfg := quickConfig()
+	res, err := RunRenameCampaign(p, cfg, 10, 0x42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 10 {
+		t.Fatalf("total = %d", res.Total)
+	}
+	if res.FrontendDetected != 0 {
+		t.Fatalf("frontend detected %d rename faults (must be blind)", res.FrontendDetected)
+	}
+	if res.DetectedWithExtension == 0 {
+		t.Fatal("extension detected nothing")
+	}
+	// The extension must strictly reduce silent corruption.
+	if res.SDCWithExtension >= res.SDCWithoutExtension && res.SDCWithoutExtension > 0 {
+		t.Fatalf("no SDC reduction: %d -> %d", res.SDCWithoutExtension, res.SDCWithExtension)
+	}
+}
+
+func TestRenameCampaignValidation(t *testing.T) {
+	p := testProgram(t)
+	if _, err := RunRenameCampaign(p, quickConfig(), 0, 1); err == nil {
+		t.Fatal("zero count accepted")
+	}
+}

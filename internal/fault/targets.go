@@ -1,0 +1,225 @@
+package fault
+
+import (
+	"fmt"
+	"math/bits"
+
+	"itr/internal/cache"
+	"itr/internal/core"
+	"itr/internal/pipeline"
+	"itr/internal/program"
+	"itr/internal/stats"
+)
+
+// ---- PC faults (paper Section 2.5) ----
+
+// PCOutcome classifies one fetch-PC upset.
+type PCOutcome string
+
+// PC fault outcomes.
+const (
+	// PCDetectedITR: the disruption landed mid-trace, so the polluted
+	// trace's signature mismatched in the ITR cache.
+	PCDetectedITR PCOutcome = "itr"
+	// PCDetectedBranch: the corrupted fetch path was repaired by normal
+	// branch resolution (the execution unit checks predicted targets, the
+	// protection the paper notes already exists for branch boundaries).
+	PCDetectedBranch PCOutcome = "branch-repair"
+	// PCDetectedSpc: the commit-PC (sequential PC) check caught a
+	// discontinuity at a natural trace boundary.
+	PCDetectedSpc PCOutcome = "spc"
+	// PCUndetectedSDC: architectural state corrupted with no check firing
+	// within the window — the Section 2.5 vulnerability.
+	PCUndetectedSDC PCOutcome = "undetected-sdc"
+	// PCMasked: no architectural corruption and no check fired.
+	PCMasked PCOutcome = "masked"
+	// PCDeadlock: the machine deadlocked and only the watchdog caught it.
+	PCDeadlock PCOutcome = "wdog"
+)
+
+// PCOutcomes lists the classes in report order.
+func PCOutcomes() []PCOutcome {
+	return []PCOutcome{PCDetectedITR, PCDetectedBranch, PCDetectedSpc, PCUndetectedSDC, PCMasked, PCDeadlock}
+}
+
+// PCFaultResult aggregates a PC-fault campaign.
+type PCFaultResult struct {
+	Total  int
+	Counts map[PCOutcome]int
+}
+
+// Pct returns the percentage of injections with outcome o.
+func (r PCFaultResult) Pct(o PCOutcome) float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return 100 * float64(r.Counts[o]) / float64(r.Total)
+}
+
+// RunPCFault injects one fetch-PC bit flip at the given cycle and classifies
+// the outcome. The ITR checker runs in observe mode so the natural
+// consequence is visible alongside every check that fires.
+func RunPCFault(prog *program.Program, cfg Config, atCycle int64, bit int) (PCOutcome, error) {
+	pcfg := cfg.Pipeline
+	pcfg.ITREnabled = true
+	pcfg.ITR = cfg.ITR
+	pcfg.ITRMode = core.ModeObserve
+	cpu, err := pipeline.New(prog, pcfg)
+	if err != nil {
+		return "", fmt.Errorf("pc fault run: %w", err)
+	}
+	g := newGolden(prog)
+	cpu.SetCommitObserver(g.observe)
+	cpu.SchedulePCFault(atCycle, bit)
+
+	// Baseline repair count up to the injection point must be excluded:
+	// run a clean reference for the same window to measure the expected
+	// mispredict count.
+	ref, err := pipeline.New(prog, pcfg)
+	if err != nil {
+		return "", err
+	}
+	refRes := ref.Run(cfg.WindowCycles)
+
+	res := cpu.Run(cfg.WindowCycles)
+	detections := cpu.Checker().Detections()
+
+	switch {
+	case len(detections) > 0:
+		return PCDetectedITR, nil
+	case res.Termination == pipeline.TermDeadlock:
+		return PCDeadlock, nil
+	case res.SpcFired > 0:
+		return PCDetectedSpc, nil
+	case !g.diverged && res.Mispredicts > refRes.Mispredicts:
+		// Extra repair events relative to the fault-free run: the branch
+		// unit redirected the corrupted path and no damage remains.
+		return PCDetectedBranch, nil
+	case g.diverged:
+		return PCUndetectedSDC, nil
+	default:
+		return PCMasked, nil
+	}
+}
+
+// RunPCFaultCampaign injects n randomized PC faults.
+func RunPCFaultCampaign(prog *program.Program, cfg Config, n int, seed uint64) (PCFaultResult, error) {
+	res := PCFaultResult{Counts: make(map[PCOutcome]int)}
+	if n <= 0 {
+		return res, fmt.Errorf("pc fault campaign: non-positive count %d", n)
+	}
+	rng := stats.NewRNG(seed)
+	// Flips within the image dominate; one extra bit allows out-of-image
+	// excursions (fetching past the image returns halts).
+	bitRange := bits.Len64(uint64(prog.Len())) + 1
+	for i := 0; i < n; i++ {
+		bit := rng.Intn(bitRange)
+		cycle := 1 + int64(rng.Uint64n(uint64(cfg.WindowCycles/2)))
+		out, err := RunPCFault(prog, cfg, cycle, bit)
+		if err != nil {
+			return res, err
+		}
+		res.Total++
+		res.Counts[out]++
+	}
+	return res, nil
+}
+
+// ---- ITR cache line faults (paper Section 2.4) ----
+
+// CacheFaultOutcome classifies an upset on a stored ITR signature.
+type CacheFaultOutcome string
+
+// Cache fault outcomes.
+const (
+	// CacheFalseMachineCheck: without parity, the corrupted line's next
+	// hit mismatches twice and raises a machine check even though the
+	// program is fine (the false abort the paper describes).
+	CacheFalseMachineCheck CacheFaultOutcome = "false-machine-check"
+	// CacheParityRepaired: parity identified the line fault; the line was
+	// repaired with the freshly generated signature and execution
+	// continued (Section 2.4's fix).
+	CacheParityRepaired CacheFaultOutcome = "parity-repaired"
+	// CacheMasked: the corrupted line was evicted or overwritten before
+	// any instance referenced it.
+	CacheMasked CacheFaultOutcome = "masked"
+)
+
+// CacheFaultResult aggregates an ITR-cache fault campaign.
+type CacheFaultResult struct {
+	Total  int
+	Counts map[CacheFaultOutcome]int
+	// SDC counts runs where architectural state diverged (should stay 0:
+	// ITR cache faults never corrupt the program, they can only abort it).
+	SDC int
+}
+
+// RunCacheFault corrupts one resident ITR cache line mid-run and classifies
+// the consequence. parity selects whether the Section 2.4 protection is on.
+func RunCacheFault(prog *program.Program, cfg Config, parity bool, warmCycles int64, pick uint64, bit int) (CacheFaultOutcome, bool, error) {
+	pcfg := cfg.Pipeline
+	pcfg.ITREnabled = true
+	pcfg.ITR = cfg.ITR
+	pcfg.ITR.Parity = parity
+	pcfg.ITRMode = core.ModeFull
+	cpu, err := pipeline.New(prog, pcfg)
+	if err != nil {
+		return "", false, fmt.Errorf("cache fault run: %w", err)
+	}
+	g := newGolden(prog)
+	cpu.SetCommitObserver(g.observe)
+
+	// Warm the ITR cache, then flip one bit of one resident signature.
+	cpu.Run(warmCycles)
+	var lines []*cache.Line
+	cpu.Checker().Cache().Visit(func(ln *cache.Line) { lines = append(lines, ln) })
+	if len(lines) == 0 {
+		return "", false, fmt.Errorf("cache fault: no resident lines after %d warm cycles", warmCycles)
+	}
+	victim := lines[pick%uint64(len(lines))]
+	victim.Value ^= 1 << uint(bit&63)
+
+	res := cpu.Run(cfg.WindowCycles)
+	st := cpu.Checker().Stats()
+
+	var out CacheFaultOutcome
+	switch {
+	case st.ParityRecovers > 0:
+		out = CacheParityRepaired
+	case res.Termination == pipeline.TermMachineCheck:
+		out = CacheFalseMachineCheck
+	default:
+		out = CacheMasked
+	}
+	return out, g.diverged, nil
+}
+
+// RunCacheFaultCampaign injects n randomized ITR-cache line faults.
+func RunCacheFaultCampaign(prog *program.Program, cfg Config, parity bool, n int, seed uint64) (CacheFaultResult, error) {
+	res := CacheFaultResult{Counts: make(map[CacheFaultOutcome]int)}
+	if n <= 0 {
+		return res, fmt.Errorf("cache fault campaign: non-positive count %d", n)
+	}
+	rng := stats.NewRNG(seed)
+	for i := 0; i < n; i++ {
+		out, sdc, err := RunCacheFaultCase(prog, cfg, parity, rng)
+		if err != nil {
+			return res, err
+		}
+		res.Total++
+		res.Counts[out]++
+		if sdc {
+			res.SDC++
+		}
+	}
+	return res, nil
+}
+
+// RunCacheFaultCase draws one randomized cache-fault experiment.
+func RunCacheFaultCase(prog *program.Program, cfg Config, parity bool, rng *stats.RNG) (CacheFaultOutcome, bool, error) {
+	warm := cfg.WindowCycles / 4
+	if warm < 1000 {
+		warm = 1000
+	}
+	return RunCacheFault(prog, cfg, parity, warm, rng.Uint64(), rng.Intn(64))
+}

@@ -1,0 +1,77 @@
+package isa
+
+import "fmt"
+
+// Instruction is one static instruction as produced by the program builder
+// (the "binary" form stored in the instruction image that fetch reads).
+type Instruction struct {
+	Op    Opcode
+	Rd    RegID  // destination register
+	Rs1   RegID  // first source (base register for memory ops)
+	Rs2   RegID  // second source (data register for stores)
+	Shamt uint8  // shift amount (5 bits)
+	Imm   uint16 // immediate / branch displacement (16 bits, sign-extended)
+	// Target is the 26-bit direct jump target (instruction index) for OpJ
+	// and OpJal. At decode it is split across the imm, shamt and rsrc2
+	// fields of the signal vector, mirroring how a MIPS J-type instruction
+	// spreads its target across the instruction word.
+	Target uint32
+}
+
+// Decode produces the Table 2 decode-signal vector for inst. This is the
+// model of the processor's decode unit: every downstream pipeline stage and
+// the ITR signature generator consume only the returned signals.
+func Decode(inst Instruction) DecodeSignals {
+	info := opTable[OpInvalid]
+	if inst.Op.Valid() {
+		info = opTable[inst.Op]
+	}
+	d := DecodeSignals{
+		Opcode:  inst.Op,
+		Flags:   info.flags,
+		Shamt:   inst.Shamt & 0x1f,
+		Rsrc1:   inst.Rs1 & 0x1f,
+		Rsrc2:   inst.Rs2 & 0x1f,
+		Rdst:    inst.Rd & 0x1f,
+		Lat:     info.lat,
+		Imm:     inst.Imm,
+		NumRsrc: info.numRsrc,
+		NumRdst: info.numRdst,
+		MemSize: info.memSize,
+	}
+	if inst.Op == OpJ || inst.Op == OpJal {
+		// Split the 26-bit direct target across imm(15:0), shamt(20:16)
+		// and rsrc2(25:21).
+		d.Imm = uint16(inst.Target)
+		d.Shamt = uint8(inst.Target>>16) & 0x1f
+		d.Rsrc2 = RegID(inst.Target>>21) & 0x1f
+	}
+	return d
+}
+
+// DirectTarget reconstructs the 26-bit direct jump target from the signal
+// vector (the inverse of the split performed by Decode).
+func (d DecodeSignals) DirectTarget() uint64 {
+	return uint64(d.Imm) | uint64(d.Shamt&0x1f)<<16 | uint64(d.Rsrc2&0x1f)<<21
+}
+
+// String renders the instruction in assembler-like form.
+func (inst Instruction) String() string {
+	switch {
+	case inst.Op == OpJ || inst.Op == OpJal:
+		return fmt.Sprintf("%s %#x", inst.Op, inst.Target)
+	case inst.Op.IsBranch():
+		return fmt.Sprintf("%s r%d,r%d,%d", inst.Op, inst.Rs1, inst.Rs2, int16(inst.Imm))
+	case inst.Op.IsMem():
+		return fmt.Sprintf("%s r%d,%d(r%d)", inst.Op, dataReg(inst), int16(inst.Imm), inst.Rs1)
+	default:
+		return fmt.Sprintf("%s r%d,r%d,r%d,imm=%d", inst.Op, inst.Rd, inst.Rs1, inst.Rs2, int16(inst.Imm))
+	}
+}
+
+func dataReg(inst Instruction) RegID {
+	if opTable[inst.Op].flags&FlagSt != 0 {
+		return inst.Rs2
+	}
+	return inst.Rd
+}

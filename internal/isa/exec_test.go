@@ -1,0 +1,492 @@
+package isa
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const maxU64 = ^uint64(0)
+
+// negImm encodes a negative immediate in the 16-bit field.
+func negImm(v int16) uint16 { return uint16(-v) }
+
+func exec(t *testing.T, st *ArchState, inst Instruction) Outcome {
+	t.Helper()
+	return st.Step(inst)
+}
+
+func TestMemoryLoadStoreRoundTrip(t *testing.T) {
+	if err := quick.Check(func(addr uint64, v uint64, sz uint8) bool {
+		m := NewMemory()
+		size := []uint8{1, 2, 4, 8}[sz%4]
+		addr %= 1 << 40
+		m.Store(addr, size, v)
+		got := m.Load(addr, size)
+		var mask uint64
+		switch size {
+		case 1:
+			mask = 0xff
+		case 2:
+			mask = 0xffff
+		case 4:
+			mask = 0xffffffff
+		default:
+			mask = ^uint64(0)
+		}
+		return got == v&mask
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryZeroFill(t *testing.T) {
+	m := NewMemory()
+	if m.Load(0x1234, 8) != 0 {
+		t.Fatal("untouched memory must read zero")
+	}
+	if m.NumPages() != 0 {
+		t.Fatal("reads must not allocate pages")
+	}
+}
+
+func TestMemorySubwordIndependence(t *testing.T) {
+	m := NewMemory()
+	m.Store(0x100, 8, 0x1122334455667788)
+	m.Store(0x100, 1, 0xff)
+	if got := m.Load(0x100, 8); got != 0x11223344556677ff {
+		t.Fatalf("byte store clobbered word: %#x", got)
+	}
+	m.Store(0x102, 2, 0xaaaa) // overwrites bytes 2-3 (0x66, 0x55)
+	if got, want := m.Load(0x100, 8), uint64(0x11223344aaaa77ff); got != want {
+		t.Fatalf("halfword store wrong: got %#x want %#x", got, want)
+	}
+}
+
+func TestMemoryAlignment(t *testing.T) {
+	m := NewMemory()
+	m.Store(0x107, 4, 0xdeadbeef) // aligns down to 0x104
+	if got := m.Load(0x104, 4); got != 0xdeadbeef {
+		t.Fatalf("unaligned store did not align down: %#x", got)
+	}
+}
+
+func TestMemoryZeroSize(t *testing.T) {
+	m := NewMemory()
+	m.Store(0x100, 0, 0xff)
+	if got := m.Load(0x100, 8); got != 0 {
+		t.Fatalf("size-0 store wrote memory: %#x", got)
+	}
+	if got := m.Load(0x100, 0); got != 0 {
+		t.Fatalf("size-0 load returned %#x", got)
+	}
+}
+
+func TestMemoryClone(t *testing.T) {
+	m := NewMemory()
+	m.Store(0x100, 8, 42)
+	c := m.Clone()
+	c.Store(0x100, 8, 99)
+	if m.Load(0x100, 8) != 42 {
+		t.Fatal("clone aliases original")
+	}
+	if c.Load(0x100, 8) != 99 {
+		t.Fatal("clone lost write")
+	}
+}
+
+func TestExecALU(t *testing.T) {
+	st := NewArchState()
+	st.R[1], st.R[2] = 7, 5
+	cases := []struct {
+		inst Instruction
+		want uint64
+	}{
+		{Instruction{Op: OpAdd, Rd: 3, Rs1: 1, Rs2: 2}, 12},
+		{Instruction{Op: OpSub, Rd: 3, Rs1: 1, Rs2: 2}, 2},
+		{Instruction{Op: OpAnd, Rd: 3, Rs1: 1, Rs2: 2}, 5},
+		{Instruction{Op: OpOr, Rd: 3, Rs1: 1, Rs2: 2}, 7},
+		{Instruction{Op: OpXor, Rd: 3, Rs1: 1, Rs2: 2}, 2},
+		{Instruction{Op: OpSlt, Rd: 3, Rs1: 1, Rs2: 2}, 0},
+		{Instruction{Op: OpSlt, Rd: 3, Rs1: 2, Rs2: 1}, 1},
+		{Instruction{Op: OpMul, Rd: 3, Rs1: 1, Rs2: 2}, 35},
+		{Instruction{Op: OpDiv, Rd: 3, Rs1: 1, Rs2: 2}, 1},
+		{Instruction{Op: OpAddi, Rd: 3, Rs1: 1, Imm: 100}, 107},
+		{Instruction{Op: OpAddi, Rd: 3, Rs1: 1, Imm: negImm(3)}, 4},
+		{Instruction{Op: OpAndi, Rd: 3, Rs1: 1, Imm: 3}, 3},
+		{Instruction{Op: OpLui, Rd: 3, Imm: 0x12}, 0x120000},
+	}
+	for _, c := range cases {
+		st.PC = 0
+		o := exec(t, st, c.inst)
+		if !o.RegWrite || o.Reg != 3 || o.Value != c.want {
+			t.Errorf("%v: outcome %v, want r3=%d", c.inst, o, c.want)
+		}
+	}
+}
+
+func TestExecShifts(t *testing.T) {
+	st := NewArchState()
+	st.R[1] = 0x8000000000000001
+	if o := exec(t, st, Instruction{Op: OpSll, Rd: 2, Rs1: 1, Shamt: 1}); o.Value != 2 {
+		t.Errorf("sll: %#x", o.Value)
+	}
+	if o := exec(t, st, Instruction{Op: OpSrl, Rd: 2, Rs1: 1, Shamt: 1}); o.Value != 0x4000000000000000 {
+		t.Errorf("srl: %#x", o.Value)
+	}
+	if o := exec(t, st, Instruction{Op: OpSra, Rd: 2, Rs1: 1, Shamt: 1}); o.Value != 0xC000000000000000 {
+		t.Errorf("sra: %#x", o.Value)
+	}
+}
+
+func TestExecDivideByZero(t *testing.T) {
+	st := NewArchState()
+	st.R[1] = 10
+	o := exec(t, st, Instruction{Op: OpDiv, Rd: 2, Rs1: 1, Rs2: 0})
+	if o.Value != 0 {
+		t.Fatalf("div by zero must produce 0, got %d", o.Value)
+	}
+}
+
+func TestExecZeroRegisterHardwired(t *testing.T) {
+	st := NewArchState()
+	o := exec(t, st, Instruction{Op: OpAddi, Rd: 0, Rs1: 0, Imm: 42})
+	if o.RegWrite {
+		t.Fatal("write to r0 must be dropped")
+	}
+	if st.R[0] != 0 {
+		t.Fatal("r0 modified")
+	}
+}
+
+func TestExecLoadStore(t *testing.T) {
+	st := NewArchState()
+	st.R[1] = 0x1000
+	st.R[2] = 0xdeadbeefcafef00d
+	exec(t, st, Instruction{Op: OpSd, Rs1: 1, Rs2: 2, Imm: 8})
+	o := exec(t, st, Instruction{Op: OpLd, Rd: 3, Rs1: 1, Imm: 8})
+	if o.Value != 0xdeadbeefcafef00d {
+		t.Fatalf("ld got %#x", o.Value)
+	}
+	// Signed sub-word load.
+	exec(t, st, Instruction{Op: OpSb, Rs1: 1, Rs2: 2, Imm: 16}) // stores 0x0d
+	exec(t, st, Instruction{Op: OpSb, Rs1: 1, Rs2: 2, Imm: 17})
+	st.R[4] = 0x1000
+	exec(t, st, Instruction{Op: OpSw, Rs1: 1, Rs2: 2, Imm: 24})
+	o = exec(t, st, Instruction{Op: OpLw, Rd: 5, Rs1: 1, Imm: 24})
+	if o.Value != uint64(0xffffffffcafef00d) {
+		t.Fatalf("lw sign extension: %#x", o.Value)
+	}
+}
+
+func TestExecSignedByteLoad(t *testing.T) {
+	st := NewArchState()
+	st.R[1] = 0x2000
+	st.R[2] = 0x80 // sign bit set as a byte
+	exec(t, st, Instruction{Op: OpSb, Rs1: 1, Rs2: 2})
+	o := exec(t, st, Instruction{Op: OpLb, Rd: 3, Rs1: 1})
+	if int64(o.Value) != -128 {
+		t.Fatalf("lb = %d, want -128", int64(o.Value))
+	}
+}
+
+func TestExecBranches(t *testing.T) {
+	st := NewArchState()
+	st.R[1], st.R[2] = 5, 5
+	cases := []struct {
+		op    Opcode
+		r1v   uint64
+		r2v   uint64
+		taken bool
+	}{
+		{OpBeq, 5, 5, true},
+		{OpBeq, 5, 6, false},
+		{OpBne, 5, 6, true},
+		{OpBlt, 5, 6, true},
+		{OpBlt, maxU64, 1, true},
+		{OpBge, 6, 5, true},
+		{OpBltu, maxU64, 1, false}, // -1 unsigned is huge
+		{OpBgeu, maxU64, 1, true},
+	}
+	for _, c := range cases {
+		st.R[1], st.R[2] = c.r1v, c.r2v
+		st.PC = 100
+		o := exec(t, st, Instruction{Op: c.op, Rs1: 1, Rs2: 2, Imm: 10})
+		if o.Taken != c.taken {
+			t.Errorf("%s(%d,%d): taken=%v want %v", c.op, c.r1v, c.r2v, o.Taken, c.taken)
+		}
+		wantPC := uint64(101)
+		if c.taken {
+			wantPC = 111
+		}
+		if o.NextPC != wantPC {
+			t.Errorf("%s: nextPC=%d want %d", c.op, o.NextPC, wantPC)
+		}
+		if !o.Branch {
+			t.Errorf("%s: Branch flag not set", c.op)
+		}
+	}
+}
+
+func TestExecBackwardBranch(t *testing.T) {
+	st := NewArchState()
+	st.R[1] = 1
+	st.PC = 50
+	o := exec(t, st, Instruction{Op: OpBne, Rs1: 1, Rs2: 0, Imm: negImm(10)})
+	if o.NextPC != 41 {
+		t.Fatalf("backward branch nextPC=%d, want 41", o.NextPC)
+	}
+}
+
+func TestExecJumps(t *testing.T) {
+	st := NewArchState()
+	st.PC = 10
+	o := exec(t, st, Instruction{Op: OpJ, Target: 12345})
+	if o.NextPC != 12345 || !o.Taken {
+		t.Fatalf("j: %+v", o)
+	}
+	st.PC = 10
+	o = exec(t, st, Instruction{Op: OpJal, Rd: 31, Target: 500})
+	if o.NextPC != 500 || !o.RegWrite || o.Reg != 31 || o.Value != 11 {
+		t.Fatalf("jal: %+v", o)
+	}
+	st.R[31] = 11
+	st.PC = 500
+	o = exec(t, st, Instruction{Op: OpJr, Rs1: 31})
+	if o.NextPC != 11 {
+		t.Fatalf("jr: nextPC=%d", o.NextPC)
+	}
+}
+
+func TestExecLargeDirectTarget(t *testing.T) {
+	st := NewArchState()
+	target := uint32(3 << 20) // needs bits above imm's 16
+	o := exec(t, st, Instruction{Op: OpJ, Target: target})
+	if o.NextPC != uint64(target) {
+		t.Fatalf("26-bit target: nextPC=%d want %d", o.NextPC, target)
+	}
+}
+
+func TestExecFloatingPoint(t *testing.T) {
+	st := NewArchState()
+	st.F[1] = math.Float64bits(2.5)
+	st.F[2] = math.Float64bits(1.5)
+	cases := []struct {
+		op   Opcode
+		want float64
+	}{
+		{OpFAdd, 4.0}, {OpFSub, 1.0}, {OpFMul, 3.75}, {OpFDiv, 2.5 / 1.5},
+	}
+	for _, c := range cases {
+		o := exec(t, st, Instruction{Op: c.op, Rd: 3, Rs1: 1, Rs2: 2})
+		if !o.RegWrite || !o.RegFP || math.Float64frombits(o.Value) != c.want {
+			t.Errorf("%s: %v (val=%v)", c.op, o, math.Float64frombits(o.Value))
+		}
+	}
+	o := exec(t, st, Instruction{Op: OpFNeg, Rd: 3, Rs1: 1})
+	if math.Float64frombits(o.Value) != -2.5 {
+		t.Errorf("fneg: %v", math.Float64frombits(o.Value))
+	}
+	o = exec(t, st, Instruction{Op: OpFCmp, Rd: 3, Rs1: 2, Rs2: 1})
+	if o.Value != 1 {
+		t.Errorf("fcmp 1.5<2.5: %d", o.Value)
+	}
+	st.R[4] = 7
+	o = exec(t, st, Instruction{Op: OpFCvt, Rd: 3, Rs1: 4})
+	if math.Float64frombits(o.Value) != 7.0 {
+		t.Errorf("fcvt: %v", math.Float64frombits(o.Value))
+	}
+}
+
+func TestExecFPDivByZero(t *testing.T) {
+	st := NewArchState()
+	st.F[1] = math.Float64bits(1.0)
+	st.F[2] = math.Float64bits(0.0)
+	o := exec(t, st, Instruction{Op: OpFDiv, Rd: 3, Rs1: 1, Rs2: 2})
+	if math.Float64frombits(o.Value) != 0 {
+		t.Fatalf("fdiv by zero must yield 0, got %v", math.Float64frombits(o.Value))
+	}
+}
+
+func TestExecFPLoadStore(t *testing.T) {
+	st := NewArchState()
+	st.R[1] = 0x3000
+	st.F[2] = math.Float64bits(9.75)
+	exec(t, st, Instruction{Op: OpFSd, Rs1: 1, Rs2: 2, Imm: 0})
+	o := exec(t, st, Instruction{Op: OpFLd, Rd: 3, Rs1: 1, Imm: 0})
+	if !o.RegFP || math.Float64frombits(o.Value) != 9.75 {
+		t.Fatalf("fld: %+v", o)
+	}
+}
+
+func TestExecHalt(t *testing.T) {
+	st := NewArchState()
+	o := exec(t, st, Instruction{Op: OpHalt})
+	if !o.Halt {
+		t.Fatal("halt must set Halt")
+	}
+}
+
+func TestExecInvalidOpcodeActsAsAnnulled(t *testing.T) {
+	st := NewArchState()
+	d := Decode(Instruction{Op: Opcode(250)})
+	o := st.Exec(d, 5)
+	if !o.Illegal || o.Halt || o.RegWrite || o.MemWrite {
+		t.Fatalf("invalid opcode outcome: %+v", o)
+	}
+	if o.NextPC != 6 {
+		t.Fatalf("invalid opcode must fall through, nextPC=%d", o.NextPC)
+	}
+}
+
+// Fault-model semantics: corrupted signals steer execution.
+
+func TestFaultNumRdstSuppressesWrite(t *testing.T) {
+	st := NewArchState()
+	st.R[1], st.R[2] = 7, 5
+	d := Decode(Instruction{Op: OpAdd, Rd: 3, Rs1: 1, Rs2: 2})
+	d.NumRdst = 0 // fault
+	o := st.Exec(d, 0)
+	if o.RegWrite {
+		t.Fatal("num_rdst=0 must suppress the register write")
+	}
+}
+
+func TestFaultIsBranchClearedFallsThrough(t *testing.T) {
+	st := NewArchState()
+	st.R[1], st.R[2] = 5, 5
+	d := Decode(Instruction{Op: OpBeq, Rs1: 1, Rs2: 2, Imm: 10})
+	d.Flags &^= FlagBranch // fault: branch treated as non-branch
+	o := st.Exec(d, 100)
+	if o.Branch || o.Taken || o.NextPC != 101 {
+		t.Fatalf("cleared is_branch: %+v", o)
+	}
+}
+
+func TestFaultIsBranchSetOnALUFallsThroughUntaken(t *testing.T) {
+	st := NewArchState()
+	d := Decode(Instruction{Op: OpAdd, Rd: 3, Rs1: 1, Rs2: 2})
+	d.Flags |= FlagBranch // fault
+	o := st.Exec(d, 100)
+	if !o.Branch || o.Taken {
+		t.Fatalf("alu-with-branch-flag: %+v", o)
+	}
+	if o.RegWrite {
+		t.Fatal("branch path must not write a register result")
+	}
+}
+
+func TestFaultRsrcChangesValue(t *testing.T) {
+	st := NewArchState()
+	st.R[1], st.R[2], st.R[9] = 7, 5, 1000
+	d := Decode(Instruction{Op: OpAdd, Rd: 3, Rs1: 1, Rs2: 2})
+	d.Rsrc1 = 9 // fault: wrong source register
+	o := st.Exec(d, 0)
+	if o.Value != 1005 {
+		t.Fatalf("corrupted rsrc1 result: %d", o.Value)
+	}
+}
+
+func TestFaultMemSizeZeroSuppressesStore(t *testing.T) {
+	st := NewArchState()
+	st.R[1], st.R[2] = 0x1000, 42
+	d := Decode(Instruction{Op: OpSd, Rs1: 1, Rs2: 2})
+	d.MemSize = 0 // fault
+	o := st.Exec(d, 0)
+	if o.MemWrite {
+		t.Fatal("mem_size=0 must suppress the store")
+	}
+}
+
+func TestFaultIsFPRedirectsRegisterFile(t *testing.T) {
+	st := NewArchState()
+	st.R[1], st.R[2] = 7, 5
+	st.F[1] = math.Float64bits(100.0)
+	d := Decode(Instruction{Op: OpFMov, Rd: 3, Rs1: 1})
+	o := st.Exec(d, 0)
+	if !o.RegFP || o.Value != math.Float64bits(100.0) {
+		t.Fatalf("fmov baseline: %+v", o)
+	}
+	d.Flags &^= FlagFP // fault: fp op reads/writes integer file
+	o = st.Exec(d, 0)
+	if o.RegFP {
+		t.Fatal("cleared is_fp must target the integer file")
+	}
+}
+
+func TestFaultLatOnlyAffectsTiming(t *testing.T) {
+	st := NewArchState()
+	st.R[1], st.R[2] = 7, 5
+	d := Decode(Instruction{Op: OpAdd, Rd: 3, Rs1: 1, Rs2: 2})
+	base := st.Exec(d, 0)
+	d.Lat = Lat4 // fault on the latency field
+	faulty := st.Exec(d, 0)
+	if !base.SameArchEffect(faulty) {
+		t.Fatal("lat field must not change architectural effect")
+	}
+}
+
+func TestOutcomeSameArchEffect(t *testing.T) {
+	a := Outcome{NextPC: 1, RegWrite: true, Reg: 3, Value: 7}
+	if !a.SameArchEffect(a) {
+		t.Fatal("outcome must equal itself")
+	}
+	b := a
+	b.Value = 8
+	if a.SameArchEffect(b) {
+		t.Fatal("different values must differ")
+	}
+	c := a
+	c.NextPC = 2
+	if a.SameArchEffect(c) {
+		t.Fatal("different nextPC must differ")
+	}
+	d := a
+	d.MemWrite = true
+	d.MemAddr = 0x10
+	d.MemWSize = 8
+	if a.SameArchEffect(d) {
+		t.Fatal("memory write must differ")
+	}
+}
+
+func TestApplyOutcome(t *testing.T) {
+	st := NewArchState()
+	st.Apply(Outcome{NextPC: 7, RegWrite: true, Reg: 4, Value: 99})
+	if st.R[4] != 99 || st.PC != 7 {
+		t.Fatalf("apply reg: %+v", st.R[4])
+	}
+	st.Apply(Outcome{NextPC: 8, RegWrite: true, RegFP: true, Reg: 4, Value: 123})
+	if st.F[4] != 123 {
+		t.Fatal("apply fp reg")
+	}
+	st.Apply(Outcome{NextPC: 9, MemWrite: true, MemAddr: 0x40, MemWData: 5, MemWSize: 8})
+	if st.Mem.Load(0x40, 8) != 5 {
+		t.Fatal("apply mem")
+	}
+}
+
+func TestStepSequence(t *testing.T) {
+	st := NewArchState()
+	st.Step(Instruction{Op: OpAddi, Rd: 1, Imm: 10})
+	st.Step(Instruction{Op: OpAddi, Rd: 2, Imm: 20})
+	st.Step(Instruction{Op: OpAdd, Rd: 3, Rs1: 1, Rs2: 2})
+	if st.R[3] != 30 {
+		t.Fatalf("r3 = %d", st.R[3])
+	}
+	if st.PC != 3 {
+		t.Fatalf("pc = %d", st.PC)
+	}
+}
+
+func TestExecDeterminism(t *testing.T) {
+	// Exec must be a pure function of (signals, pc, state).
+	st1, st2 := NewArchState(), NewArchState()
+	st1.R[1], st2.R[1] = 7, 7
+	d := Decode(Instruction{Op: OpAddi, Rd: 2, Rs1: 1, Imm: 3})
+	o1 := st1.Exec(d, 5)
+	o2 := st2.Exec(d, 5)
+	if o1 != o2 {
+		t.Fatalf("nondeterministic exec: %+v vs %+v", o1, o2)
+	}
+}

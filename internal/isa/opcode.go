@@ -1,0 +1,197 @@
+package isa
+
+import "fmt"
+
+// Opcode identifies an operation. Values fit the 8-bit opcode field of the
+// decode-signal vector (Table 2). Opcode 0 is reserved as invalid so that a
+// zeroed instruction word is never silently meaningful.
+type Opcode uint8
+
+// Integer ALU operations.
+const (
+	OpInvalid Opcode = iota
+	OpNop
+
+	OpAdd  // rd = rs1 + rs2
+	OpSub  // rd = rs1 - rs2
+	OpAnd  // rd = rs1 & rs2
+	OpOr   // rd = rs1 | rs2
+	OpXor  // rd = rs1 ^ rs2
+	OpSll  // rd = rs1 << shamt
+	OpSrl  // rd = rs1 >> shamt (logical)
+	OpSra  // rd = rs1 >> shamt (arithmetic)
+	OpSlt  // rd = (int64(rs1) < int64(rs2)) ? 1 : 0
+	OpSltu // rd = (rs1 < rs2) ? 1 : 0
+	OpMul  // rd = rs1 * rs2 (multi-cycle)
+	OpDiv  // rd = rs1 / rs2 (multi-cycle; 0 when rs2 == 0)
+
+	OpAddi // rd = rs1 + sx(imm)
+	OpAndi // rd = rs1 & zx(imm)
+	OpOri  // rd = rs1 | zx(imm)
+	OpXori // rd = rs1 ^ zx(imm)
+	OpSlti // rd = (int64(rs1) < sx(imm)) ? 1 : 0
+	OpLui  // rd = imm << 16
+
+	OpLb  // rd = sx8 (mem[rs1 + sx(imm)])
+	OpLh  // rd = sx16(mem[rs1 + sx(imm)])
+	OpLw  // rd = sx32(mem[rs1 + sx(imm)])
+	OpLd  // rd = mem64[rs1 + sx(imm)]
+	OpLwl // rd = merge-left  unaligned word load
+	OpLwr // rd = merge-right unaligned word load
+	OpSb  // mem8 [rs1 + sx(imm)] = rs2
+	OpSh  // mem16[rs1 + sx(imm)] = rs2
+	OpSw  // mem32[rs1 + sx(imm)] = rs2
+	OpSd  // mem64[rs1 + sx(imm)] = rs2
+
+	OpBeq  // if rs1 == rs2 branch to pc+1+sx(imm)
+	OpBne  // if rs1 != rs2 branch
+	OpBlt  // if int64(rs1) <  int64(rs2) branch
+	OpBge  // if int64(rs1) >= int64(rs2) branch
+	OpBltu // if rs1 <  rs2 branch (unsigned)
+	OpBgeu // if rs1 >= rs2 branch (unsigned)
+	OpJ    // jump to 26-bit direct target
+	OpJal  // jump and link: rd = pc+1, jump to 26-bit direct target
+	OpJr   // jump to rs1 (register-indirect)
+	OpJalr // rd = pc+1, jump to rs1
+
+	OpFAdd // fd = fs1 + fs2
+	OpFSub // fd = fs1 - fs2
+	OpFMul // fd = fs1 * fs2
+	OpFDiv // fd = fs1 / fs2 (0 when fs2 == 0)
+	OpFNeg // fd = -fs1
+	OpFMov // fd = fs1
+	OpFCmp // rd(int) = (fs1 < fs2) ? 1 : 0
+	OpFCvt // fd = float64(int64(rs1)); int->fp convert
+	OpFLd  // fd = mem64[rs1 + sx(imm)] (fp load)
+	OpFSd  // mem64[rs1 + sx(imm)] = fs2 (fp store)
+
+	OpHalt // trap: stop the program
+
+	numOpcodes // sentinel; must remain last
+)
+
+// LatClass encodes the 2-bit execution-latency field of Table 2.
+// The class maps to pipeline execution latencies via LatCycles.
+type LatClass uint8
+
+// Latency classes.
+const (
+	Lat1 LatClass = iota // single cycle (simple ALU, branches)
+	Lat2                 // two cycles (loads, stores, shifts-with-merge)
+	Lat3                 // three cycles (multiply, fp add/sub)
+	Lat4                 // long latency class (divide, fp mul/div)
+)
+
+// LatCycles converts a latency class to execution cycles.
+func LatCycles(c LatClass) int {
+	switch c {
+	case Lat1:
+		return 1
+	case Lat2:
+		return 2
+	case Lat3:
+		return 3
+	default:
+		return 6
+	}
+}
+
+// opInfo is the static decode metadata for one opcode: exactly the
+// information a real decoder PLA would produce.
+type opInfo struct {
+	name    string
+	flags   uint16
+	lat     LatClass
+	numRsrc uint8 // 0-2 source register operands
+	numRdst uint8 // 0-1 destination register operands
+	memSize uint8 // log2(bytes)+1 for memory ops, 0 otherwise (3-bit field)
+}
+
+var opTable = [numOpcodes]opInfo{
+	OpInvalid: {name: "invalid", flags: FlagTrap},
+	OpNop:     {name: "nop", flags: FlagInt},
+
+	OpAdd:  {name: "add", flags: FlagInt | FlagSigned | FlagRR, lat: Lat1, numRsrc: 2, numRdst: 1},
+	OpSub:  {name: "sub", flags: FlagInt | FlagSigned | FlagRR, lat: Lat1, numRsrc: 2, numRdst: 1},
+	OpAnd:  {name: "and", flags: FlagInt | FlagRR, lat: Lat1, numRsrc: 2, numRdst: 1},
+	OpOr:   {name: "or", flags: FlagInt | FlagRR, lat: Lat1, numRsrc: 2, numRdst: 1},
+	OpXor:  {name: "xor", flags: FlagInt | FlagRR, lat: Lat1, numRsrc: 2, numRdst: 1},
+	OpSll:  {name: "sll", flags: FlagInt | FlagRR, lat: Lat1, numRsrc: 1, numRdst: 1},
+	OpSrl:  {name: "srl", flags: FlagInt | FlagRR, lat: Lat1, numRsrc: 1, numRdst: 1},
+	OpSra:  {name: "sra", flags: FlagInt | FlagSigned | FlagRR, lat: Lat1, numRsrc: 1, numRdst: 1},
+	OpSlt:  {name: "slt", flags: FlagInt | FlagSigned | FlagRR, lat: Lat1, numRsrc: 2, numRdst: 1},
+	OpSltu: {name: "sltu", flags: FlagInt | FlagRR, lat: Lat1, numRsrc: 2, numRdst: 1},
+	OpMul:  {name: "mul", flags: FlagInt | FlagSigned | FlagRR, lat: Lat3, numRsrc: 2, numRdst: 1},
+	OpDiv:  {name: "div", flags: FlagInt | FlagSigned | FlagRR, lat: Lat4, numRsrc: 2, numRdst: 1},
+
+	OpAddi: {name: "addi", flags: FlagInt | FlagSigned | FlagDisp, lat: Lat1, numRsrc: 1, numRdst: 1},
+	OpAndi: {name: "andi", flags: FlagInt | FlagDisp, lat: Lat1, numRsrc: 1, numRdst: 1},
+	OpOri:  {name: "ori", flags: FlagInt | FlagDisp, lat: Lat1, numRsrc: 1, numRdst: 1},
+	OpXori: {name: "xori", flags: FlagInt | FlagDisp, lat: Lat1, numRsrc: 1, numRdst: 1},
+	OpSlti: {name: "slti", flags: FlagInt | FlagSigned | FlagDisp, lat: Lat1, numRsrc: 1, numRdst: 1},
+	OpLui:  {name: "lui", flags: FlagInt | FlagDisp, lat: Lat1, numRsrc: 0, numRdst: 1},
+
+	OpLb:  {name: "lb", flags: FlagInt | FlagSigned | FlagLd | FlagDisp, lat: Lat2, numRsrc: 1, numRdst: 1, memSize: 1},
+	OpLh:  {name: "lh", flags: FlagInt | FlagSigned | FlagLd | FlagDisp, lat: Lat2, numRsrc: 1, numRdst: 1, memSize: 2},
+	OpLw:  {name: "lw", flags: FlagInt | FlagSigned | FlagLd | FlagDisp, lat: Lat2, numRsrc: 1, numRdst: 1, memSize: 3},
+	OpLd:  {name: "ld", flags: FlagInt | FlagLd | FlagDisp, lat: Lat2, numRsrc: 1, numRdst: 1, memSize: 4},
+	OpLwl: {name: "lwl", flags: FlagInt | FlagLd | FlagDisp | FlagMemL, lat: Lat2, numRsrc: 2, numRdst: 1, memSize: 3},
+	OpLwr: {name: "lwr", flags: FlagInt | FlagLd | FlagDisp, lat: Lat2, numRsrc: 2, numRdst: 1, memSize: 3},
+	OpSb:  {name: "sb", flags: FlagInt | FlagSt | FlagDisp, lat: Lat2, numRsrc: 2, memSize: 1},
+	OpSh:  {name: "sh", flags: FlagInt | FlagSt | FlagDisp, lat: Lat2, numRsrc: 2, memSize: 2},
+	OpSw:  {name: "sw", flags: FlagInt | FlagSt | FlagDisp, lat: Lat2, numRsrc: 2, memSize: 3},
+	OpSd:  {name: "sd", flags: FlagInt | FlagSt | FlagDisp, lat: Lat2, numRsrc: 2, memSize: 4},
+
+	OpBeq:  {name: "beq", flags: FlagInt | FlagBranch | FlagDisp | FlagDirect, lat: Lat1, numRsrc: 2},
+	OpBne:  {name: "bne", flags: FlagInt | FlagBranch | FlagDisp | FlagDirect, lat: Lat1, numRsrc: 2},
+	OpBlt:  {name: "blt", flags: FlagInt | FlagSigned | FlagBranch | FlagDisp | FlagDirect, lat: Lat1, numRsrc: 2},
+	OpBge:  {name: "bge", flags: FlagInt | FlagSigned | FlagBranch | FlagDisp | FlagDirect, lat: Lat1, numRsrc: 2},
+	OpBltu: {name: "bltu", flags: FlagInt | FlagBranch | FlagDisp | FlagDirect, lat: Lat1, numRsrc: 2},
+	OpBgeu: {name: "bgeu", flags: FlagInt | FlagBranch | FlagDisp | FlagDirect, lat: Lat1, numRsrc: 2},
+	OpJ:    {name: "j", flags: FlagInt | FlagBranch | FlagUncond | FlagDirect, lat: Lat1},
+	OpJal:  {name: "jal", flags: FlagInt | FlagBranch | FlagUncond | FlagDirect, lat: Lat1, numRdst: 1},
+	OpJr:   {name: "jr", flags: FlagInt | FlagBranch | FlagUncond, lat: Lat1, numRsrc: 1},
+	OpJalr: {name: "jalr", flags: FlagInt | FlagBranch | FlagUncond, lat: Lat1, numRsrc: 1, numRdst: 1},
+
+	OpFAdd: {name: "fadd", flags: FlagFP | FlagSigned | FlagRR, lat: Lat3, numRsrc: 2, numRdst: 1},
+	OpFSub: {name: "fsub", flags: FlagFP | FlagSigned | FlagRR, lat: Lat3, numRsrc: 2, numRdst: 1},
+	OpFMul: {name: "fmul", flags: FlagFP | FlagSigned | FlagRR, lat: Lat4, numRsrc: 2, numRdst: 1},
+	OpFDiv: {name: "fdiv", flags: FlagFP | FlagSigned | FlagRR, lat: Lat4, numRsrc: 2, numRdst: 1},
+	OpFNeg: {name: "fneg", flags: FlagFP | FlagSigned | FlagRR, lat: Lat1, numRsrc: 1, numRdst: 1},
+	OpFMov: {name: "fmov", flags: FlagFP | FlagRR, lat: Lat1, numRsrc: 1, numRdst: 1},
+	OpFCmp: {name: "fcmp", flags: FlagFP | FlagSigned | FlagRR, lat: Lat3, numRsrc: 2, numRdst: 1},
+	OpFCvt: {name: "fcvt", flags: FlagFP | FlagSigned | FlagRR, lat: Lat3, numRsrc: 1, numRdst: 1},
+	OpFLd:  {name: "fld", flags: FlagFP | FlagLd | FlagDisp, lat: Lat2, numRsrc: 1, numRdst: 1, memSize: 4},
+	OpFSd:  {name: "fsd", flags: FlagFP | FlagSt | FlagDisp, lat: Lat2, numRsrc: 2, memSize: 4},
+
+	OpHalt: {name: "halt", flags: FlagTrap},
+}
+
+// Valid reports whether op is a defined opcode.
+func (op Opcode) Valid() bool {
+	return op > OpInvalid && op < numOpcodes
+}
+
+// String returns the assembler mnemonic for op.
+func (op Opcode) String() string {
+	if op < numOpcodes && opTable[op].name != "" {
+		return opTable[op].name
+	}
+	return fmt.Sprintf("op%d", uint8(op))
+}
+
+// IsBranch reports whether op is a control-transfer instruction (which
+// terminates a trace per the paper's trace-formation rule).
+func (op Opcode) IsBranch() bool {
+	return op.Valid() && opTable[op].flags&FlagBranch != 0
+}
+
+// IsMem reports whether op accesses memory.
+func (op Opcode) IsMem() bool {
+	return op.Valid() && opTable[op].flags&(FlagLd|FlagSt) != 0
+}
+
+// IsFP reports whether op operates on the floating-point register file.
+func (op Opcode) IsFP() bool {
+	return op.Valid() && opTable[op].flags&FlagFP != 0
+}

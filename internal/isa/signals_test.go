@@ -1,0 +1,238 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// randomSignals builds an arbitrary but field-valid signal vector from quick
+// inputs.
+func randomSignals(op, flags, shamt, r1, r2, rd, lat uint8, imm uint16, nrs, nrd, ms uint8) DecodeSignals {
+	return DecodeSignals{
+		Opcode:  Opcode(op),
+		Flags:   uint16(flags) | uint16(shamt)<<8&FlagsMask,
+		Shamt:   shamt & 0x1f,
+		Rsrc1:   RegID(r1 & 0x1f),
+		Rsrc2:   RegID(r2 & 0x1f),
+		Rdst:    RegID(rd & 0x1f),
+		Lat:     LatClass(lat & 0x3),
+		Imm:     imm,
+		NumRsrc: nrs & 0x3,
+		NumRdst: nrd & 0x1,
+		MemSize: ms & 0x7,
+	}
+}
+
+func TestSignalsPackUnpackRoundTrip(t *testing.T) {
+	if err := quick.Check(func(op, flags, shamt, r1, r2, rd, lat uint8, imm uint16, nrs, nrd, ms uint8) bool {
+		d := randomSignals(op, flags, shamt, r1, r2, rd, lat, imm, nrs, nrd, ms)
+		return UnpackSignals(d.Pack()) == d
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignalsPackUsesAll64Bits(t *testing.T) {
+	// Every one of the 64 bit positions must be reachable: flipping any
+	// packed bit must change the unpacked signal vector.
+	base := Decode(Instruction{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3})
+	for pos := 0; pos < SignalBits; pos++ {
+		flipped := base.FlipBit(pos)
+		if flipped == base {
+			t.Errorf("bit %d (%s) has no effect on signals", pos, SignalField(pos))
+		}
+		if flipped.Pack() != base.Pack()^(1<<uint(pos)) {
+			t.Errorf("bit %d: pack mismatch after flip", pos)
+		}
+	}
+}
+
+func TestFlipBitIsInvolution(t *testing.T) {
+	if err := quick.Check(func(op, flags, shamt, r1, r2, rd, lat uint8, imm uint16, nrs, nrd, ms uint8, pos uint8) bool {
+		d := randomSignals(op, flags, shamt, r1, r2, rd, lat, imm, nrs, nrd, ms)
+		p := int(pos % SignalBits)
+		return d.FlipBit(p).FlipBit(p) == d
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignalFieldLayoutMatchesTable2(t *testing.T) {
+	// Field widths from the paper's Table 2, in order.
+	wants := []struct {
+		field string
+		width int
+	}{
+		{"opcode", 8},
+		{"flags", 12},
+		{"shamt", 5},
+		{"rsrc1", 5},
+		{"rsrc2", 5},
+		{"rdst", 5},
+		{"lat", 2},
+		{"imm", 16},
+		{"num_rsrc", 2},
+		{"num_rdst", 1},
+		{"mem_size", 3},
+	}
+	pos := 0
+	for _, w := range wants {
+		for i := 0; i < w.width; i++ {
+			got := SignalField(pos)
+			if w.field == "flags" {
+				// Flag bits report their individual names.
+				if got != FlagName(pos-8) {
+					t.Errorf("bit %d: field %q, want flag %q", pos, got, FlagName(pos-8))
+				}
+			} else if got != w.field {
+				t.Errorf("bit %d: field %q, want %q", pos, got, w.field)
+			}
+			pos++
+		}
+	}
+	if pos != SignalBits {
+		t.Fatalf("total width %d, want %d", pos, SignalBits)
+	}
+	if SignalField(-1) != "invalid" || SignalField(64) != "invalid" {
+		t.Error("out-of-range positions should report invalid")
+	}
+}
+
+func TestFlagNames(t *testing.T) {
+	// The twelve decoded control flags of Table 2.
+	want := []string{"is_int", "is_fp", "is_signed", "is_branch", "is_uncond",
+		"is_ld", "is_st", "mem_left", "is_RR", "is_disp", "is_direct", "is_trap"}
+	for i, w := range want {
+		if got := FlagName(i); got != w {
+			t.Errorf("flag %d = %q, want %q", i, got, w)
+		}
+	}
+	if FlagName(12) == "" || FlagName(-1) == "" {
+		t.Error("out-of-range flag positions should still return a name")
+	}
+}
+
+func TestDecodeBranchFlags(t *testing.T) {
+	cases := []struct {
+		op         Opcode
+		branch     bool
+		uncond     bool
+		direct     bool
+		terminates bool
+	}{
+		{OpAdd, false, false, false, false},
+		{OpBeq, true, false, true, true},
+		{OpJ, true, true, true, true},
+		{OpJal, true, true, true, true},
+		{OpJr, true, true, false, true},
+		{OpLw, false, false, false, false},
+	}
+	for _, c := range cases {
+		d := Decode(Instruction{Op: c.op})
+		if d.HasFlag(FlagBranch) != c.branch {
+			t.Errorf("%s: branch flag = %v", c.op, d.HasFlag(FlagBranch))
+		}
+		if d.HasFlag(FlagUncond) != c.uncond {
+			t.Errorf("%s: uncond flag = %v", c.op, d.HasFlag(FlagUncond))
+		}
+		if d.HasFlag(FlagDirect) != c.direct {
+			t.Errorf("%s: direct flag = %v", c.op, d.HasFlag(FlagDirect))
+		}
+		if d.IsBranching() != c.terminates {
+			t.Errorf("%s: IsBranching = %v", c.op, d.IsBranching())
+		}
+	}
+}
+
+func TestDecodeDirectTargetRoundTrip(t *testing.T) {
+	if err := quick.Check(func(target uint32) bool {
+		target &= 1<<26 - 1
+		d := Decode(Instruction{Op: OpJ, Target: target})
+		return d.DirectTarget() == uint64(target)
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeOperandCounts(t *testing.T) {
+	cases := []struct {
+		op       Opcode
+		nrs, nrd uint8
+	}{
+		{OpAdd, 2, 1},
+		{OpAddi, 1, 1},
+		{OpLw, 1, 1},
+		{OpSw, 2, 0},
+		{OpBeq, 2, 0},
+		{OpJ, 0, 0},
+		{OpJal, 0, 1},
+		{OpJr, 1, 0},
+		{OpLui, 0, 1},
+		{OpFAdd, 2, 1},
+		{OpHalt, 0, 0},
+	}
+	for _, c := range cases {
+		d := Decode(Instruction{Op: c.op})
+		if d.NumRsrc != c.nrs || d.NumRdst != c.nrd {
+			t.Errorf("%s: num_rsrc=%d num_rdst=%d, want %d/%d", c.op, d.NumRsrc, d.NumRdst, c.nrs, c.nrd)
+		}
+	}
+}
+
+func TestDecodeMemSize(t *testing.T) {
+	cases := []struct {
+		op   Opcode
+		size uint8 // encoded field
+	}{
+		{OpLb, 1}, {OpLh, 2}, {OpLw, 3}, {OpLd, 4},
+		{OpSb, 1}, {OpSh, 2}, {OpSw, 3}, {OpSd, 4},
+		{OpAdd, 0}, {OpFLd, 4},
+	}
+	for _, c := range cases {
+		if d := Decode(Instruction{Op: c.op}); d.MemSize != c.size {
+			t.Errorf("%s: mem_size = %d, want %d", c.op, d.MemSize, c.size)
+		}
+	}
+}
+
+func TestOpcodeStringAndValidity(t *testing.T) {
+	if OpInvalid.Valid() {
+		t.Error("OpInvalid must not be valid")
+	}
+	if !OpAdd.Valid() || !OpHalt.Valid() {
+		t.Error("defined opcodes must be valid")
+	}
+	if Opcode(200).Valid() {
+		t.Error("opcode 200 must be invalid")
+	}
+	if OpAdd.String() != "add" || OpFMul.String() != "fmul" {
+		t.Errorf("mnemonics wrong: %s %s", OpAdd, OpFMul)
+	}
+	if Opcode(200).String() == "" {
+		t.Error("invalid opcodes still need a rendering")
+	}
+}
+
+func TestLatCycles(t *testing.T) {
+	if LatCycles(Lat1) != 1 || LatCycles(Lat2) != 2 || LatCycles(Lat3) != 3 {
+		t.Error("short latency classes wrong")
+	}
+	if LatCycles(Lat4) <= LatCycles(Lat3) {
+		t.Error("Lat4 must be the longest class")
+	}
+}
+
+func TestDecodeLatencyClasses(t *testing.T) {
+	if d := Decode(Instruction{Op: OpAdd}); d.Lat != Lat1 {
+		t.Errorf("add lat = %d", d.Lat)
+	}
+	if d := Decode(Instruction{Op: OpLw}); d.Lat != Lat2 {
+		t.Errorf("lw lat = %d", d.Lat)
+	}
+	if d := Decode(Instruction{Op: OpMul}); d.Lat != Lat3 {
+		t.Errorf("mul lat = %d", d.Lat)
+	}
+	if d := Decode(Instruction{Op: OpDiv}); d.Lat != Lat4 {
+		t.Errorf("div lat = %d", d.Lat)
+	}
+}

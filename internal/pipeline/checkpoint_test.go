@@ -1,0 +1,203 @@
+package pipeline
+
+import (
+	"testing"
+
+	"itr/internal/isa"
+	"itr/internal/program"
+)
+
+// missFaultProgram is structured so a fault can land on a trace's FIRST
+// dynamic instance (an ITR cache miss): the faulty signature is installed,
+// the next instance mismatches, the retry mismatches again, and without
+// checkpointing the machine check aborts the program.
+func missFaultProgram(t *testing.T) *program.Program {
+	t.Helper()
+	b := program.NewBuilder("missfault")
+	b.OpImm(isa.OpAddi, 1, 0, 400) // outer count
+	b.OpImm(isa.OpAddi, 4, 0, 0x1000)
+	b.Label("outer")
+	// Warm phase: a tight loop that gets every line checked.
+	b.OpImm(isa.OpAddi, 2, 0, 8)
+	b.Label("warm")
+	b.OpImm(isa.OpAddi, 3, 3, 1)
+	b.Store(isa.OpSd, 3, 4, 0)
+	b.OpImm(isa.OpAddi, 2, 2, -1)
+	b.Branch(isa.OpBne, 2, 0, "warm")
+	// Late phase: entered only after many outer iterations, so its first
+	// execution happens long after checkpoints exist.
+	b.OpImm(isa.OpAddi, 5, 0, 200)
+	b.Branch(isa.OpBlt, 1, 5, "late") // taken once r1 < 200
+	b.Jump("skip_late")
+	b.Label("late")
+	b.Op(isa.OpAdd, 6, 6, 3)
+	b.Op(isa.OpXor, 7, 7, 6)
+	b.Store(isa.OpSd, 7, 4, 16)
+	b.OpImm(isa.OpAddi, 8, 8, 3)
+	b.Branch(isa.OpBeq, 0, 0, "skip_late") // never... taken: 0==0 always
+	b.Label("skip_late")
+	b.OpImm(isa.OpAddi, 1, 1, -1)
+	b.Branch(isa.OpBne, 1, 0, "outer")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// injectOnFirstLateInstance flips an imm bit on the first dynamic execution
+// of the "late" block's add instruction — a trace instance that misses in
+// the ITR cache, installing a faulty signature.
+func injectOnFirstLateInstance(p *program.Program) (FaultHook, *bool) {
+	// Find the late add: first OpAdd in the image.
+	var target uint64
+	for pc, inst := range p.Insts {
+		if inst.Op == isa.OpAdd {
+			target = uint64(pc)
+			break
+		}
+	}
+	injected := new(bool)
+	return func(i int64, pc uint64, wrongPath bool, d isa.DecodeSignals) isa.DecodeSignals {
+		// Gate on the correct path: wrong-path instances are squashed and
+		// would consume the one-shot injection without effect.
+		if !*injected && pc == target && !wrongPath {
+			*injected = true
+			return d.FlipBit(45) // imm field
+		}
+		return d
+	}, injected
+}
+
+func TestMachineCheckWithoutCheckpoint(t *testing.T) {
+	p := missFaultProgram(t)
+	cfg := DefaultConfig()
+	cpu, err := New(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hook, injected := injectOnFirstLateInstance(p)
+	cpu.SetFaultHook(hook)
+	res := cpu.Run(2_000_000)
+	if !*injected {
+		t.Fatal("fault not injected")
+	}
+	if res.Termination != TermMachineCheck {
+		t.Fatalf("termination = %v, want machine check (faulty signature installed on miss)", res.Termination)
+	}
+	if cpu.Checker().Stats().MachineChecks != 1 {
+		t.Fatalf("checker stats: %+v", cpu.Checker().Stats())
+	}
+}
+
+func TestCheckpointConvertsMachineCheckToRollback(t *testing.T) {
+	p := missFaultProgram(t)
+	cfg := DefaultConfig()
+	cfg.CheckpointEnabled = true
+	cfg.CheckpointIntervalCycles = 512
+	cpu, err := New(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hook, injected := injectOnFirstLateInstance(p)
+	cpu.SetFaultHook(hook)
+
+	takes, rollbacks := 0, 0
+	cpu.SetCheckpointObserver(func(taken bool) {
+		if taken {
+			takes++
+		} else {
+			rollbacks++
+		}
+	})
+
+	res := cpu.Run(4_000_000)
+	if !*injected {
+		t.Fatal("fault not injected")
+	}
+	if res.Termination != TermHalt {
+		t.Fatalf("termination = %v, want halt (recovered via checkpoint)", res.Termination)
+	}
+	if res.CheckpointRollbacks != 1 || rollbacks != 1 {
+		t.Fatalf("rollbacks = %d (observer %d), want 1", res.CheckpointRollbacks, rollbacks)
+	}
+	if takes == 0 {
+		t.Fatal("no checkpoints were taken")
+	}
+	st := cpu.Checkpoints().Stats()
+	if st.Rollbacks != 1 {
+		t.Fatalf("manager stats: %+v", st)
+	}
+
+	// The replayed execution must converge to the same final architectural
+	// state as a fault-free run.
+	ref, err := New(p, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRes := ref.Run(4_000_000)
+	if refRes.Termination != TermHalt {
+		t.Fatalf("reference run: %v", refRes.Termination)
+	}
+	got, want := cpu.Committed(), ref.Committed()
+	if got.R != want.R || got.F != want.F {
+		t.Fatal("final register state differs from fault-free run after checkpoint recovery")
+	}
+	for _, addr := range []uint64{0x1000, 0x1010} {
+		if got.Mem.Load(addr, 8) != want.Mem.Load(addr, 8) {
+			t.Fatalf("memory at %#x differs after checkpoint recovery", addr)
+		}
+	}
+}
+
+func TestCheckpointRequiresITR(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ITREnabled = false
+	cfg.CheckpointEnabled = true
+	if _, err := New(missFaultProgram(t), cfg); err == nil {
+		t.Fatal("checkpointing without ITR accepted")
+	}
+}
+
+func TestCheckpointFaultFreeOverheadIsBookkeepingOnly(t *testing.T) {
+	p := missFaultProgram(t)
+	cfg := DefaultConfig()
+	cfg.CheckpointEnabled = true
+	cpu, err := New(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := cpu.Run(2_000_000)
+	if res.Termination != TermHalt {
+		t.Fatalf("termination = %v", res.Termination)
+	}
+	if res.CheckpointRollbacks != 0 {
+		t.Fatal("fault-free run rolled back")
+	}
+	st := cpu.Checkpoints().Stats()
+	if st.Taken == 0 {
+		t.Fatal("no checkpoints taken on a fault-free run")
+	}
+	if st.LoggedWords == 0 {
+		t.Fatal("undo log never recorded a committed store")
+	}
+}
+
+func TestCheckpointStrictPolicyDeclines(t *testing.T) {
+	// The paper's literal condition: run-once init code leaves permanently
+	// unchecked ITR lines, so strict-policy takes are (mostly) declined.
+	p := missFaultProgram(t)
+	cfg := DefaultConfig()
+	cfg.CheckpointEnabled = true
+	cfg.CheckpointPolicy = CheckpointStrict
+	cfg.CheckpointIntervalCycles = 256
+	cpu, err := New(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := cpu.Run(500_000)
+	if res.CheckpointsDeclined == 0 {
+		t.Fatal("strict policy never declined despite unchecked run-once lines")
+	}
+}

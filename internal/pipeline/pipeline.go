@@ -1,0 +1,925 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"itr/internal/checkpoint"
+	"itr/internal/core"
+	"itr/internal/isa"
+	"itr/internal/program"
+	"itr/internal/trace"
+)
+
+// Config sizes the core. Zero fields take DefaultConfig values.
+type Config struct {
+	FetchWidth  int // instructions fetched per cycle
+	IssueWidth  int // instructions issued per cycle
+	CommitWidth int // instructions committed per cycle
+	ROBSize     int
+	IssueWindow int // scheduler window depth (entries scanned for issue)
+	FetchQueue  int
+
+	BTBEntries int
+	BTBAssoc   int
+	GshareBits uint
+
+	// WatchdogCycles is the deadlock threshold: cycles without a commit
+	// before the watchdog check fires (paper Section 4's "wdog").
+	WatchdogCycles int64
+
+	// ITREnabled attaches the ITR checker; ITR/ITRMode configure it.
+	ITREnabled bool
+	ITR        core.Config
+	ITRMode    core.Mode
+
+	// CheckpointEnabled attaches the coarse-grain checkpointing extension
+	// of Section 2.3: machine checks roll back to the last checkpoint
+	// instead of aborting the program, whenever the rollback is provably
+	// sufficient.
+	CheckpointEnabled bool
+	// CheckpointIntervalCycles is how often a checkpoint take is attempted
+	// (default 4096).
+	CheckpointIntervalCycles int64
+	// CheckpointPolicy selects the rollback-safety rule (default
+	// CheckpointStamped).
+	CheckpointPolicy CheckpointPolicy
+
+	// Redundancy selects a conventional frontend-protection baseline
+	// (structural duplication or time redundancy) to run instead of ITR.
+	Redundancy RedundancyMode
+
+	// RenameITREnabled attaches the rename-protection extension: a second
+	// ITR checker over per-trace signatures of the rename-map indexes
+	// (paper Section 1), covering faults the frontend signature cannot see.
+	RenameITREnabled bool
+
+	// TACEnabled attaches the Timestamp-based Assertion Check for the
+	// out-of-order scheduler (Section 1's third regimen member): commit
+	// asserts that no instruction issued before its producers completed,
+	// and flushes on violation.
+	TACEnabled bool
+}
+
+// CheckpointPolicy is the rule deciding when checkpoints are taken and when
+// a rollback is known to undo the fault's damage.
+type CheckpointPolicy int
+
+// Checkpoint policies.
+const (
+	// CheckpointStamped takes a checkpoint at every interval and records
+	// install timestamps on ITR cache lines. A machine check rolls back
+	// only when the offending (faulty) line was installed after the
+	// checkpoint, which proves the corruption postdates the checkpointed
+	// state. Run-once code may leave permanently unchecked lines, but they
+	// cannot invalidate younger checkpoints under this rule.
+	CheckpointStamped CheckpointPolicy = iota + 1
+	// CheckpointStrict is the paper's literal Section 2.3 condition: take a
+	// checkpoint only when the ITR cache holds no unchecked lines. Sound,
+	// but on workloads with run-once code the condition may never hold.
+	CheckpointStrict
+)
+
+// DefaultConfig returns a 4-wide core in the spirit of the MIPS R10K with
+// the paper's headline ITR cache (2-way, 1024 signatures).
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:     4,
+		IssueWidth:     4,
+		CommitWidth:    4,
+		ROBSize:        128,
+		IssueWindow:    48,
+		FetchQueue:     16,
+		BTBEntries:     1024,
+		BTBAssoc:       2,
+		GshareBits:     12,
+		WatchdogCycles: 8192,
+		ITREnabled:     true,
+		ITR:            core.DefaultConfig(),
+		ITRMode:        core.ModeFull,
+	}
+}
+
+func (c Config) normalize() Config {
+	d := DefaultConfig()
+	if c.FetchWidth == 0 {
+		c.FetchWidth = d.FetchWidth
+	}
+	if c.IssueWidth == 0 {
+		c.IssueWidth = d.IssueWidth
+	}
+	if c.CommitWidth == 0 {
+		c.CommitWidth = d.CommitWidth
+	}
+	if c.ROBSize == 0 {
+		c.ROBSize = d.ROBSize
+	}
+	if c.IssueWindow == 0 {
+		c.IssueWindow = d.IssueWindow
+	}
+	if c.FetchQueue == 0 {
+		c.FetchQueue = d.FetchQueue
+	}
+	if c.BTBEntries == 0 {
+		c.BTBEntries = d.BTBEntries
+	}
+	if c.BTBAssoc == 0 {
+		c.BTBAssoc = d.BTBAssoc
+	}
+	if c.GshareBits == 0 {
+		c.GshareBits = d.GshareBits
+	}
+	if c.WatchdogCycles == 0 {
+		c.WatchdogCycles = d.WatchdogCycles
+	}
+	if c.ITRMode == 0 {
+		c.ITRMode = core.ModeFull
+	}
+	if c.CheckpointIntervalCycles == 0 {
+		c.CheckpointIntervalCycles = 4096
+	}
+	if c.CheckpointPolicy == 0 {
+		c.CheckpointPolicy = CheckpointStamped
+	}
+	return c
+}
+
+// FaultHook lets a fault injector corrupt the decode signals of one (or
+// more) dynamic decode events. decodeIndex counts every decode, including
+// wrong-path instructions — exactly the population the paper injects into
+// (campaigns ignore wrongPath; targeted tests may gate on it).
+type FaultHook func(decodeIndex int64, pc uint64, wrongPath bool, d isa.DecodeSignals) isa.DecodeSignals
+
+// CommitObserver sees every committed instruction in order (golden lockstep
+// comparison attaches here).
+type CommitObserver func(pc uint64, o isa.Outcome)
+
+// Termination says why a run ended.
+type Termination int
+
+// Termination causes.
+const (
+	TermBudget       Termination = iota + 1 // cycle budget exhausted
+	TermHalt                                // program executed halt
+	TermMachineCheck                        // ITR raised a machine check (program aborted)
+	TermDeadlock                            // watchdog fired: no commit for WatchdogCycles
+)
+
+func (t Termination) String() string {
+	switch t {
+	case TermBudget:
+		return "budget"
+	case TermHalt:
+		return "halt"
+	case TermMachineCheck:
+		return "machine-check"
+	case TermDeadlock:
+		return "deadlock"
+	default:
+		return fmt.Sprintf("termination(%d)", int(t))
+	}
+}
+
+// Result summarizes a pipeline run.
+type Result struct {
+	Cycles       int64
+	Committed    int64
+	DecodeEvents int64
+	Termination  Termination
+	// SpcFired counts sequential-PC check violations observed at commit
+	// (Section 2.5 / Section 4's "spc" check).
+	SpcFired int64
+	// Mispredicts counts resolved branch mispredictions (repair events).
+	Mispredicts int64
+	// ITRFlushes counts retry flushes performed by the checker.
+	ITRFlushes int64
+	// CheckpointRollbacks counts machine checks converted into coarse-grain
+	// checkpoint rollbacks (Section 2.3 extension).
+	CheckpointRollbacks int64
+	// CheckpointsDeclined counts take attempts refused by the strict
+	// policy's unchecked-lines condition.
+	CheckpointsDeclined int64
+}
+
+// IPC returns committed instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Committed) / float64(r.Cycles)
+}
+
+type srcKind uint8
+
+const (
+	srcReady srcKind = iota
+	srcSeq
+	srcPhantom // operand that can never become ready (fault-induced)
+)
+
+type source struct {
+	kind srcKind
+	seq  uint64
+}
+
+type uop struct {
+	valid       bool
+	pc          uint64
+	predNext    uint64
+	d           isa.DecodeSignals
+	outcome     isa.Outcome
+	wrongPath   bool
+	traceEnd    bool
+	itrSeq      uint64 // ITR ROB entry sequence (valid when traceEnd)
+	renameSeq   uint64 // rename checker entry sequence (valid when traceEnd)
+	decodeIndex int64
+	tacViolated bool // issued before a producer completed (scheduler fault)
+	issued      bool
+	done        bool
+	doneCycle   int64
+	srcs        [3]source
+	nsrc        int
+}
+
+type fetchedInst struct {
+	pc       uint64
+	predNext uint64
+	taken    bool
+}
+
+type producer struct {
+	valid bool
+	seq   uint64
+}
+
+// CPU is the cycle-level core. Construct with New; one CPU runs one program.
+type CPU struct {
+	cfg  Config
+	prog *program.Program
+
+	mem       *isa.Memory
+	committed *isa.ArchState
+	spec      *specState
+
+	pred          *Predictor
+	checker       *core.Checker
+	renameChecker *core.Checker
+	renameSig     renameState
+	ckpt          *checkpoint.Manager
+	former        trace.Former
+
+	rob              []uop
+	robHead, robTail uint64
+	executing        []uint64
+
+	prod [2][isa.NumRegs]producer
+
+	fetchQ   []fetchedInst
+	fetchPC  uint64
+	haltSeen bool
+
+	wrongPathFrom  uint64
+	wrongPathArmed bool
+
+	cycle           int64
+	lastCommitCycle int64
+	ckptRollbacks   int64
+	ckptDeclined    int64
+	redundancy      RedundancyStats
+	decodeEvents    int64
+	committedCount  int64
+	expectedPC      uint64
+	spcFired        int64
+	mispredicts     int64
+	itrFlushes      int64
+
+	faultHook       FaultHook
+	renameFaultHook RenameFaultHook
+	schedFaultHook  SchedulerFaultHook
+	observer        CommitObserver
+	ckptObserver    CheckpointObserver
+	tac             TACStats
+
+	pcFaultCycle int64 // schedule: flip fetch PC at this cycle (0 = none)
+	pcFaultBit   int
+	pcFaultDone  bool
+
+	terminated  bool
+	termination Termination
+}
+
+// New builds a CPU over prog with the given configuration.
+func New(prog *program.Program, cfg Config) (*CPU, error) {
+	cfg = cfg.normalize()
+	c := &CPU{
+		cfg:        cfg,
+		prog:       prog,
+		mem:        isa.NewMemory(),
+		pred:       NewPredictor(cfg.BTBEntries, cfg.BTBAssoc, cfg.GshareBits),
+		rob:        make([]uop, cfg.ROBSize),
+		fetchQ:     make([]fetchedInst, 0, cfg.FetchQueue),
+		fetchPC:    prog.Entry,
+		expectedPC: prog.Entry,
+	}
+	c.committed = &isa.ArchState{Mem: c.mem, PC: prog.Entry}
+	c.spec = newSpecState(c.committed, c.mem)
+	if cfg.ITREnabled {
+		checker, err := core.NewChecker(cfg.ITR, cfg.ITRMode)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: %w", err)
+		}
+		c.checker = checker
+	}
+	if cfg.RenameITREnabled {
+		if !cfg.ITREnabled {
+			return nil, fmt.Errorf("pipeline: rename ITR requires the main ITR checker")
+		}
+		rc, err := core.NewChecker(cfg.ITR, cfg.ITRMode)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: rename checker: %w", err)
+		}
+		c.renameChecker = rc
+	}
+	if cfg.CheckpointEnabled {
+		if !cfg.ITREnabled {
+			return nil, fmt.Errorf("pipeline: checkpointing requires the ITR checker (its safety condition is an all-checked ITR cache)")
+		}
+		m, err := checkpoint.New(c.committed, c.mem)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: %w", err)
+		}
+		c.ckpt = m
+	}
+	return c, nil
+}
+
+// SetFaultHook installs the decode-signal corruption hook.
+func (c *CPU) SetFaultHook(h FaultHook) { c.faultHook = h }
+
+// SchedulePCFault arms a single-event upset on the fetch PC (Section 2.5):
+// at the first fetch at or after the given cycle, bit is flipped in the PC
+// used to fetch. Depending on where the flip lands relative to trace
+// boundaries, the fault is caught by the ITR signature, by branch
+// resolution, by the sequential-PC check, or not at all.
+func (c *CPU) SchedulePCFault(cycle int64, bit int) {
+	c.pcFaultCycle = cycle
+	c.pcFaultBit = bit & 63
+	c.pcFaultDone = false
+}
+
+// SetCommitObserver installs the committed-instruction observer.
+func (c *CPU) SetCommitObserver(o CommitObserver) { c.observer = o }
+
+// CheckpointObserver is notified of checkpoint lifecycle events:
+// taken == true when a checkpoint is established, taken == false when the
+// machine rolls back to it. Golden lockstep comparators use this to keep a
+// matching snapshot of the reference state.
+type CheckpointObserver func(taken bool)
+
+// SetCheckpointObserver installs the checkpoint lifecycle observer.
+func (c *CPU) SetCheckpointObserver(o CheckpointObserver) { c.ckptObserver = o }
+
+// checkpointRecover converts a machine check into a rollback to the last
+// coarse-grain checkpoint: the committed state is restored, the offending
+// trace's (faulty) ITR cache line is discarded so re-execution installs a
+// fresh signature, and fetch restarts at the checkpoint PC.
+func (c *CPU) checkpointRecover(faultyTracePC uint64) (restartPC uint64, ok bool) {
+	if !c.ckpt.Valid() {
+		return 0, false
+	}
+	// Rollback is sufficient only when the faulty instance committed after
+	// the checkpoint: the install stamp of the offending line proves it.
+	if ln, found := c.checker.Cache().Probe(faultyTracePC); found && ln.Stamp < c.ckpt.CommittedAt() {
+		return 0, false
+	}
+	restart, ok := c.ckpt.Rollback()
+	if !ok {
+		return 0, false
+	}
+	c.ckptRollbacks++
+	c.checker.Cache().Invalidate(faultyTracePC)
+	c.checker.FlushAll()
+	if c.renameChecker != nil {
+		c.renameChecker.Cache().Invalidate(faultyTracePC)
+		c.renameChecker.FlushAll()
+	}
+	if c.ckptObserver != nil {
+		c.ckptObserver(false)
+	}
+	// Replayed instructions must not be double-counted by consumers of
+	// CommittedInsts; rewinding the counter keeps commit counts consistent
+	// with the architectural state. The sequential-PC chain also restarts
+	// at the checkpoint.
+	c.committedCount = c.ckpt.CommittedAt()
+	c.expectedPC = restart
+	return restart, true
+}
+
+// Checker exposes the ITR checker (nil when ITR is disabled).
+func (c *CPU) Checker() *core.Checker { return c.checker }
+
+// Checkpoints exposes the coarse-grain checkpoint manager (nil when the
+// extension is disabled).
+func (c *CPU) Checkpoints() *checkpoint.Manager { return c.ckpt }
+
+// Redundancy returns the baseline-comparator statistics (zero when
+// RedundancyNone).
+func (c *CPU) Redundancy() RedundancyStats { return c.redundancy }
+
+// RenameChecker exposes the rename-protection checker (nil when disabled).
+func (c *CPU) RenameChecker() *core.Checker { return c.renameChecker }
+
+// Committed exposes the committed architectural state.
+func (c *CPU) Committed() *isa.ArchState { return c.committed }
+
+// DecodeEvents returns the number of decode events so far (the fault
+// injector samples injection points from this space).
+func (c *CPU) DecodeEvents() int64 { return c.decodeEvents }
+
+// CommittedInsts returns the number of committed instructions so far.
+func (c *CPU) CommittedInsts() int64 { return c.committedCount }
+
+// Run executes until the cycle budget is exhausted or the machine
+// terminates, returning the run summary. Run may be called repeatedly to
+// extend a run; the budget is per-call.
+func (c *CPU) Run(maxCycles int64) Result {
+	start := c.cycle
+	for !c.terminated && c.cycle-start < maxCycles {
+		c.stepCycle()
+	}
+	term := c.termination
+	if !c.terminated {
+		term = TermBudget
+	}
+	return Result{
+		Cycles:              c.cycle,
+		Committed:           c.committedCount,
+		DecodeEvents:        c.decodeEvents,
+		Termination:         term,
+		SpcFired:            c.spcFired,
+		Mispredicts:         c.mispredicts,
+		ITRFlushes:          c.itrFlushes,
+		CheckpointRollbacks: c.ckptRollbacks,
+		CheckpointsDeclined: c.ckptDeclined,
+	}
+}
+
+func (c *CPU) stepCycle() {
+	c.commitStage()
+	if c.terminated {
+		return
+	}
+	c.writebackStage()
+	c.issueStage()
+	c.dispatchStage()
+	c.fetchStage()
+	c.cycle++
+	if c.ckpt != nil && c.cycle%c.cfg.CheckpointIntervalCycles == 0 {
+		take := true
+		if c.cfg.CheckpointPolicy == CheckpointStrict {
+			// Section 2.3's literal condition: no unchecked lines remain.
+			take = c.checker.Cache().CountUnchecked() == 0
+		}
+		if take {
+			c.ckpt.Take(c.committedCount)
+			if c.ckptObserver != nil {
+				c.ckptObserver(true)
+			}
+		} else {
+			c.ckptDeclined++
+		}
+	}
+	if c.cycle-c.lastCommitCycle > c.cfg.WatchdogCycles {
+		c.terminated = true
+		c.termination = TermDeadlock
+	}
+}
+
+func (c *CPU) robLen() int { return int(c.robTail - c.robHead) }
+
+func (c *CPU) at(seq uint64) *uop { return &c.rob[seq%uint64(len(c.rob))] }
+
+// ---- commit ----
+
+func (c *CPU) commitStage() {
+	for n := 0; n < c.cfg.CommitWidth && c.robLen() > 0; n++ {
+		u := c.at(c.robHead)
+		if !u.done {
+			return
+		}
+		if u.wrongPath {
+			// Unreachable when resolution works: wrong-path uops are
+			// always squashed by the mispredicted branch ahead of them.
+			panic("pipeline: wrong-path uop reached commit")
+		}
+		if c.checker != nil {
+			switch a := c.checker.Poll(); a.Kind {
+			case core.ActionStall:
+				return
+			case core.ActionRetry:
+				c.itrFlush(a.RestartPC)
+				return
+			case core.ActionMachineCheck:
+				if c.ckpt != nil {
+					if restart, ok := c.checkpointRecover(a.RestartPC); ok {
+						c.itrFlush(restart)
+						return
+					}
+				}
+				c.terminated = true
+				c.termination = TermMachineCheck
+				return
+			}
+		}
+		if c.renameChecker != nil {
+			switch a := c.renameChecker.Poll(); a.Kind {
+			case core.ActionStall:
+				return
+			case core.ActionRetry:
+				c.itrFlush(a.RestartPC)
+				return
+			case core.ActionMachineCheck:
+				if c.ckpt != nil {
+					if restart, ok := c.checkpointRecover(a.RestartPC); ok {
+						c.itrFlush(restart)
+						return
+					}
+				}
+				c.terminated = true
+				c.termination = TermMachineCheck
+				return
+			}
+		}
+		// TAC (scheduler) assertion: flush and re-execute on an issue-order
+		// violation, before the stale result can commit.
+		if c.tacCommitCheck(u) {
+			c.tac.Recovered++
+			c.itrFlush(u.pc)
+			return
+		}
+
+		// Sequential-PC check (Section 2.5): a committing instruction's PC
+		// must match the commit PC chain.
+		if u.pc != c.expectedPC {
+			c.spcFired++
+		}
+		c.expectedPC = u.outcome.NextPC
+
+		if c.ckpt != nil {
+			c.ckpt.BeforeStore(u.outcome)
+		}
+		c.committed.Apply(u.outcome)
+		c.committedCount++
+		if c.checker != nil {
+			c.checker.SetNow(c.committedCount)
+		}
+		c.lastCommitCycle = c.cycle
+		if c.observer != nil {
+			c.observer(u.pc, u.outcome)
+		}
+		if u.traceEnd && c.checker != nil {
+			c.checker.CommitTraceEnd()
+		}
+		if u.traceEnd && c.renameChecker != nil {
+			c.renameChecker.CommitTraceEnd()
+		}
+		c.robHead++
+		if u.outcome.Halt {
+			c.terminated = true
+			c.termination = TermHalt
+			return
+		}
+	}
+}
+
+// itrFlush implements the Section 2.2 recovery: flush the whole window and
+// restart fetch at the faulting trace's start PC. Architectural state is
+// intact because nothing from the flushed window committed.
+func (c *CPU) itrFlush(restartPC uint64) {
+	c.itrFlushes++
+	c.robTail = c.robHead
+	c.executing = c.executing[:0]
+	c.fetchQ = c.fetchQ[:0]
+	c.former.Reset()
+	c.renameSig.reset()
+	// Both checkers' in-flight windows are squashed. The checker whose
+	// retry caused this flush has already cleared itself (and armed its
+	// retry state); FlushAll on an empty window is a no-op, so flushing
+	// both keeps the two ITR ROBs aligned trace-for-trace.
+	if c.checker != nil {
+		c.checker.FlushAll()
+	}
+	if c.renameChecker != nil {
+		c.renameChecker.FlushAll()
+	}
+	c.spec.restore(c.committed)
+	c.fetchPC = restartPC
+	c.wrongPathArmed = false
+	c.haltSeen = false
+	for f := range c.prod {
+		for r := range c.prod[f] {
+			c.prod[f][r] = producer{}
+		}
+	}
+}
+
+// ---- writeback / branch resolution ----
+
+func (c *CPU) writebackStage() {
+	if len(c.executing) == 0 {
+		return
+	}
+	kept := c.executing[:0]
+	var completed []uint64
+	for _, seq := range c.executing {
+		if seq < c.robHead || seq >= c.robTail {
+			continue // squashed or committed
+		}
+		u := c.at(seq)
+		if u.doneCycle > c.cycle {
+			kept = append(kept, seq)
+			continue
+		}
+		completed = append(completed, seq)
+	}
+	c.executing = kept
+	// Complete oldest-first so the oldest misprediction wins the redirect.
+	for i := 1; i < len(completed); i++ {
+		for j := i; j > 0 && completed[j] < completed[j-1]; j-- {
+			completed[j], completed[j-1] = completed[j-1], completed[j]
+		}
+	}
+	for _, seq := range completed {
+		if seq < c.robHead || seq >= c.robTail {
+			continue // squashed by an older branch this cycle
+		}
+		u := c.at(seq)
+		u.done = true
+		if u.wrongPath || !u.d.IsBranching() {
+			continue
+		}
+		// Correct-path branch resolution.
+		c.pred.Train(u.pc, u.outcome.NextPC, u.outcome.Taken, u.d.HasFlag(isa.FlagUncond))
+		if c.wrongPathArmed && c.wrongPathFrom == seq {
+			c.repairMispredict(seq, u.outcome.NextPC)
+		}
+	}
+}
+
+// repairMispredict squashes everything younger than the branch at seq and
+// redirects fetch to the correct target.
+func (c *CPU) repairMispredict(seq uint64, target uint64) {
+	c.mispredicts++
+	c.robTail = seq + 1
+	c.fetchQ = c.fetchQ[:0]
+	c.former.Reset()
+	c.fetchPC = target
+	c.wrongPathArmed = false
+	c.haltSeen = false
+	// Producers in the squashed region are gone.
+	for f := range c.prod {
+		for r := range c.prod[f] {
+			if c.prod[f][r].valid && c.prod[f][r].seq >= c.robTail {
+				c.prod[f][r] = producer{}
+			}
+		}
+	}
+	// The branch terminated its trace, so it owns the youngest surviving
+	// ITR ROB entry; roll back to the checkpoint noted at its dispatch.
+	if c.checker != nil {
+		u := c.at(seq)
+		if u.traceEnd {
+			c.checker.RollbackTo(u.itrSeq)
+		}
+	}
+	if c.renameChecker != nil {
+		u := c.at(seq)
+		if u.traceEnd {
+			c.renameChecker.RollbackTo(u.renameSeq)
+		}
+	}
+	c.renameSig.reset()
+}
+
+// ---- issue ----
+
+func (c *CPU) sourceReady(s source) bool {
+	switch s.kind {
+	case srcReady:
+		return true
+	case srcPhantom:
+		return false
+	default:
+		if s.seq < c.robHead || s.seq >= c.robTail {
+			return true // committed or squashed
+		}
+		return c.at(s.seq).done
+	}
+}
+
+func (c *CPU) issueStage() {
+	issued := 0
+	limit := c.robHead + uint64(c.cfg.IssueWindow)
+	if limit > c.robTail {
+		limit = c.robTail
+	}
+	for seq := c.robHead; seq < limit && issued < c.cfg.IssueWidth; seq++ {
+		u := c.at(seq)
+		if u.issued || u.done {
+			continue
+		}
+		ready := true
+		for i := 0; i < u.nsrc; i++ {
+			if !c.sourceReady(u.srcs[i]) {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			// A scheduler transient can fire the instruction anyway.
+			if c.schedFaultHook != nil && c.schedFaultHook(u.decodeIndex) {
+				c.tacPrematureIssue(seq)
+			} else {
+				continue
+			}
+		}
+		u.issued = true
+		u.doneCycle = c.cycle + int64(isa.LatCycles(u.d.Lat))
+		c.executing = append(c.executing, seq)
+		issued++
+	}
+}
+
+// ---- dispatch / decode ----
+
+func (c *CPU) dispatchStage() {
+	for n := 0; n < c.cfg.FetchWidth && len(c.fetchQ) > 0; n++ {
+		if c.robLen() == len(c.rob) {
+			return // ROB full
+		}
+		if c.checker != nil && c.checker.Full() {
+			return // ITR ROB full: stall decode (paper Section 2.2)
+		}
+		if c.renameChecker != nil && c.renameChecker.Full() {
+			return
+		}
+		fi := c.fetchQ[0]
+		c.fetchQ = c.fetchQ[1:]
+
+		c.decodeEvents++
+		d := isa.Decode(c.prog.Fetch(fi.pc))
+		if c.faultHook != nil {
+			d = c.faultHook(c.decodeEvents, fi.pc, c.wrongPathArmed, d)
+		}
+		if c.cfg.Redundancy != RedundancyNone {
+			// Decode the instruction a second time (a second decoder for
+			// dual-decode; a second pass for time redundancy) and compare
+			// the signal vectors. Both copies are independently exposed to
+			// faults.
+			c.decodeEvents++
+			c.redundancy.ExtraDecodes++
+			d2 := isa.Decode(c.prog.Fetch(fi.pc))
+			if c.faultHook != nil {
+				d2 = c.faultHook(c.decodeEvents, fi.pc, c.wrongPathArmed, d2)
+			}
+			c.redundancy.Comparisons++
+			if d != d2 {
+				// Mismatch: a transient hit one copy. Recovery is a clean
+				// re-decode before anything propagates.
+				c.redundancy.Detections++
+				d = isa.Decode(c.prog.Fetch(fi.pc))
+			}
+			if c.cfg.Redundancy == RedundancyTimeRedundant {
+				// The second pass consumes a decode slot: halved frontend
+				// bandwidth is the measurable cost of time redundancy.
+				n++
+			}
+		}
+
+		u := uop{
+			valid:       true,
+			pc:          fi.pc,
+			predNext:    fi.predNext,
+			d:           d,
+			decodeIndex: c.decodeEvents,
+			wrongPath:   c.wrongPathArmed,
+		}
+
+		// Rename stage: the map indexes are derived from the decode
+		// signals; a rename-stage fault corrupts them without touching the
+		// signals themselves, so only the rename signature can see it.
+		exe := d
+		if c.renameChecker != nil || c.renameFaultHook != nil {
+			ri := renameIndexesOf(d)
+			if c.renameFaultHook != nil {
+				ri = c.renameFaultHook(c.decodeEvents, ri)
+			}
+			exe = applyRenameIndexes(d, ri)
+			if c.renameChecker != nil {
+				c.renameSig.add(ri)
+			}
+		}
+
+		if !u.wrongPath {
+			u.outcome = c.spec.exec(exe, fi.pc)
+		}
+
+		c.collectSources(&u)
+		seq := c.robTail
+		*c.at(seq) = u
+		c.robTail++
+
+		if u.d.NumRdst == 1 && !u.wrongPath {
+			file := 0
+			if u.d.HasFlag(isa.FlagFP) {
+				file = 1
+			}
+			if !(file == 0 && u.d.Rdst == 0) {
+				c.prod[file][u.d.Rdst&0x1f] = producer{valid: true, seq: seq}
+			}
+		}
+
+		// Trace formation at decode; trace ends dispatch into the ITR ROB
+		// and access the ITR cache (Section 2.2).
+		if ev, done := c.former.Step(fi.pc, d); done {
+			cu := c.at(seq)
+			cu.traceEnd = true
+			if c.checker != nil {
+				cu.itrSeq, _ = c.checker.DispatchTrace(ev, u.wrongPath)
+			}
+			if c.renameChecker != nil {
+				rev := ev
+				rev.Sig = c.renameSig.takeSig()
+				cu.renameSeq, _ = c.renameChecker.DispatchTrace(rev, u.wrongPath)
+			}
+		}
+
+		// Misprediction detection: the functional outcome of a correct-path
+		// branch is known at dispatch; the repair happens at resolve.
+		if !u.wrongPath && d.IsBranching() && u.outcome.NextPC != fi.predNext {
+			c.wrongPathArmed = true
+			c.wrongPathFrom = seq
+		}
+
+		if !c.wrongPathArmed && d.HasFlag(isa.FlagTrap) && d.Opcode == isa.OpHalt {
+			c.haltSeen = true
+			c.fetchQ = c.fetchQ[:0]
+			return
+		}
+	}
+}
+
+// collectSources derives the scheduler's operand dependences from the
+// (possibly corrupted) signal vector: num_rsrc names how many operands the
+// instruction waits for; a num_rsrc of 3 waits forever (deadlock, caught by
+// the watchdog).
+func (c *CPU) collectSources(u *uop) {
+	file := 0
+	if u.d.HasFlag(isa.FlagFP) && !u.d.HasFlag(isa.FlagLd) && !u.d.HasFlag(isa.FlagSt) {
+		file = 1
+	}
+	add := func(f int, r isa.RegID) {
+		s := source{kind: srcReady}
+		if !(f == 0 && r == 0) {
+			if p := c.prod[f][r&0x1f]; p.valid {
+				s = source{kind: srcSeq, seq: p.seq}
+			}
+		}
+		u.srcs[u.nsrc] = s
+		u.nsrc++
+	}
+	n := int(u.d.NumRsrc)
+	if n >= 1 {
+		add(file, u.d.Rsrc1)
+	}
+	if n >= 2 {
+		dataFile := file
+		if u.d.HasFlag(isa.FlagFP) && u.d.HasFlag(isa.FlagSt) {
+			dataFile = 1 // fp store data comes from the fp file
+		}
+		add(dataFile, u.d.Rsrc2)
+	}
+	if n >= 3 {
+		u.srcs[u.nsrc] = source{kind: srcPhantom}
+		u.nsrc++
+	}
+}
+
+// ---- fetch ----
+
+func (c *CPU) fetchStage() {
+	if c.haltSeen {
+		return
+	}
+	if c.pcFaultCycle > 0 && !c.pcFaultDone && c.cycle >= c.pcFaultCycle {
+		c.pcFaultDone = true
+		c.fetchPC ^= 1 << uint(c.pcFaultBit)
+	}
+	for n := 0; n < c.cfg.FetchWidth && len(c.fetchQ) < c.cfg.FetchQueue; n++ {
+		next, taken := c.pred.Predict(c.fetchPC)
+		c.fetchQ = append(c.fetchQ, fetchedInst{pc: c.fetchPC, predNext: next, taken: taken})
+		c.fetchPC = next
+		if taken {
+			break // fetch group ends at a predicted-taken branch
+		}
+	}
+}

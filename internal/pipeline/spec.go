@@ -1,0 +1,107 @@
+package pipeline
+
+import "itr/internal/isa"
+
+// storeOverlay is the speculative memory view: committed memory plus a
+// word-granular overlay of in-flight (uncommitted) stores. Flushing the
+// pipeline discards the overlay, rolling memory back to the committed image
+// without copying it.
+type storeOverlay struct {
+	base  *isa.Memory
+	words map[uint64]uint64 // 8-byte-aligned address -> speculative word
+}
+
+var _ isa.MemBus = (*storeOverlay)(nil)
+
+func newStoreOverlay(base *isa.Memory) *storeOverlay {
+	return &storeOverlay{base: base, words: make(map[uint64]uint64)}
+}
+
+// word returns the current speculative value of the aligned 8-byte word.
+func (o *storeOverlay) word(wa uint64) uint64 {
+	if v, ok := o.words[wa]; ok {
+		return v
+	}
+	return o.base.Load(wa, 8)
+}
+
+// Load reads size bytes through the overlay. Accesses align down to their
+// size, so they never straddle an 8-byte word (matching isa.Memory).
+func (o *storeOverlay) Load(addr uint64, size uint8) uint64 {
+	if size == 0 {
+		return 0
+	}
+	addr &^= uint64(size) - 1
+	w := o.word(addr &^ 7)
+	shift := (addr & 7) * 8
+	switch size {
+	case 1:
+		return (w >> shift) & 0xff
+	case 2:
+		return (w >> shift) & 0xffff
+	case 4:
+		return (w >> shift) & 0xffffffff
+	default:
+		return w
+	}
+}
+
+// Store writes size bytes into the overlay only; committed memory is updated
+// separately when the store commits.
+func (o *storeOverlay) Store(addr uint64, size uint8, v uint64) {
+	if size == 0 {
+		return
+	}
+	addr &^= uint64(size) - 1
+	wa := addr &^ 7
+	w := o.word(wa)
+	shift := (addr & 7) * 8
+	switch size {
+	case 1:
+		w = w&^(uint64(0xff)<<shift) | (v&0xff)<<shift
+	case 2:
+		w = w&^(uint64(0xffff)<<shift) | (v&0xffff)<<shift
+	case 4:
+		w = w&^(uint64(0xffffffff)<<shift) | (v&0xffffffff)<<shift
+	default:
+		w = v
+	}
+	o.words[wa] = w
+}
+
+// Reset discards all speculative words (pipeline flush).
+func (o *storeOverlay) Reset() {
+	if len(o.words) > 0 {
+		o.words = make(map[uint64]uint64)
+	}
+}
+
+// specState is the dispatch-time execution view: speculative register files
+// over the committed memory + store overlay. Flushes copy the committed
+// registers back and reset the overlay.
+type specState struct {
+	arch    isa.ArchState // speculative registers; Mem points at the overlay
+	overlay *storeOverlay
+}
+
+func newSpecState(committed *isa.ArchState, mem *isa.Memory) *specState {
+	s := &specState{overlay: newStoreOverlay(mem)}
+	s.arch.R = committed.R
+	s.arch.F = committed.F
+	s.arch.Mem = s.overlay
+	return s
+}
+
+// exec computes and speculatively applies one instruction's outcome.
+func (s *specState) exec(d isa.DecodeSignals, pc uint64) isa.Outcome {
+	o := s.arch.Exec(d, pc)
+	s.arch.Apply(o)
+	return o
+}
+
+// restore rolls the speculative view back to the committed state.
+func (s *specState) restore(committed *isa.ArchState) {
+	s.arch.R = committed.R
+	s.arch.F = committed.F
+	s.overlay.Reset()
+}

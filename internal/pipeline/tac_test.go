@@ -1,0 +1,118 @@
+package pipeline
+
+import (
+	"testing"
+
+	"itr/internal/isa"
+)
+
+// schedFaultAfter fires the scheduler fault once, at the first premature
+// issue opportunity past the given decode event.
+func schedFaultAfter(after int64) (SchedulerFaultHook, *bool) {
+	fired := new(bool)
+	return func(i int64) bool {
+		if !*fired && i > after {
+			*fired = true
+			return true
+		}
+		return false
+	}, fired
+}
+
+func TestSchedulerFaultCausesSDCWithoutTAC(t *testing.T) {
+	p := loopProgram(t, 20, 30) // mul feeds store: real dependences
+	cfg := DefaultConfig()
+	cfg.TACEnabled = false
+	cpu, _ := New(p, cfg)
+	hook, fired := schedFaultAfter(500)
+	cpu.SetSchedulerFaultHook(hook)
+
+	st := isa.NewArchState()
+	st.PC = p.Entry
+	diverged := false
+	cpu.SetCommitObserver(func(pc uint64, o isa.Outcome) {
+		if diverged {
+			return
+		}
+		if pc != st.PC {
+			diverged = true
+			return
+		}
+		want := st.Step(p.Fetch(pc))
+		if !o.SameArchEffect(want) {
+			diverged = true
+		}
+	})
+	cpu.Run(2_000_000)
+	if !*fired {
+		t.Skip("no premature-issue opportunity arose")
+	}
+	if !diverged {
+		t.Skip("stale value happened to match (masked)")
+	}
+	// The frontend ITR signature is blind to scheduler faults: the decode
+	// signals were never corrupted.
+	if cpu.Checker().Stats().Mismatches != 0 {
+		t.Fatal("frontend ITR detected a scheduler fault — it should be blind")
+	}
+}
+
+func TestTACDetectsAndRecoversSchedulerFault(t *testing.T) {
+	p := loopProgram(t, 20, 30)
+	cfg := DefaultConfig()
+	cfg.TACEnabled = true
+	cpu, _ := New(p, cfg)
+	hook, fired := schedFaultAfter(500)
+	cpu.SetSchedulerFaultHook(hook)
+
+	st := isa.NewArchState()
+	st.PC = p.Entry
+	idx := 0
+	cpu.SetCommitObserver(func(pc uint64, o isa.Outcome) {
+		if pc != st.PC {
+			t.Fatalf("commit %d: pc %d, functional %d", idx, pc, st.PC)
+		}
+		want := st.Step(p.Fetch(pc))
+		if !o.SameArchEffect(want) {
+			t.Fatalf("commit %d diverged at pc %d (TAC failed to stop the stale result)", idx, pc)
+		}
+		idx++
+	})
+	res := cpu.Run(2_000_000)
+	if !*fired {
+		t.Skip("no premature-issue opportunity arose")
+	}
+	if res.Termination != TermHalt {
+		t.Fatalf("termination: %v", res.Termination)
+	}
+	tac := cpu.TAC()
+	if tac.Violations != 1 || tac.Recovered != 1 {
+		t.Fatalf("tac stats: %+v", tac)
+	}
+}
+
+func TestTACFaultFreeIsSilent(t *testing.T) {
+	p := loopProgram(t, 10, 20)
+	cfg := DefaultConfig()
+	cfg.TACEnabled = true
+	cpu, _ := New(p, cfg)
+	res := cpu.Run(2_000_000)
+	if res.Termination != TermHalt {
+		t.Fatalf("termination: %v", res.Termination)
+	}
+	tac := cpu.TAC()
+	if tac.Violations != 0 {
+		t.Fatalf("fault-free violations: %+v", tac)
+	}
+	if tac.Checked == 0 {
+		t.Fatal("TAC never checked anything")
+	}
+}
+
+func TestTACLockstep(t *testing.T) {
+	p := loopProgram(t, 10, 20)
+	cfg := DefaultConfig()
+	cfg.TACEnabled = true
+	cpu, _ := New(p, cfg)
+	expectLockstepOn(t, cpu)
+}

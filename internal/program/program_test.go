@@ -1,0 +1,243 @@
+package program
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"itr/internal/isa"
+)
+
+func buildLoop(t *testing.T, iters int16) *Program {
+	t.Helper()
+	b := NewBuilder("loop")
+	b.OpImm(isa.OpAddi, 1, 0, iters) // r1 = iters
+	b.Label("top")
+	b.OpImm(isa.OpAddi, 2, 2, 1) // r2++
+	b.OpImm(isa.OpAddi, 1, 1, -1)
+	b.Branch(isa.OpBne, 1, 0, "top")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return p
+}
+
+func TestBuilderLoopExecutes(t *testing.T) {
+	p := buildLoop(t, 10)
+	executed, halted := Run(p, 0, nil)
+	if !halted {
+		t.Fatal("program did not halt")
+	}
+	// 1 init + 10*(3 loop insts) + halt = 32
+	if executed != 32 {
+		t.Fatalf("executed %d instructions", executed)
+	}
+}
+
+func TestRunObservesArchitecture(t *testing.T) {
+	p := buildLoop(t, 5)
+	var lastWrite uint64
+	Run(p, 0, func(pc uint64, inst isa.Instruction, o isa.Outcome) bool {
+		if o.RegWrite && o.Reg == 2 {
+			lastWrite = o.Value
+		}
+		return true
+	})
+	if lastWrite != 5 {
+		t.Fatalf("r2 final = %d, want 5", lastWrite)
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	p := buildLoop(t, 1000)
+	executed, halted := Run(p, 10, nil)
+	if halted || executed != 10 {
+		t.Fatalf("executed=%d halted=%v", executed, halted)
+	}
+}
+
+func TestRunEarlyStop(t *testing.T) {
+	p := buildLoop(t, 1000)
+	n := 0
+	executed, _ := Run(p, 0, func(uint64, isa.Instruction, isa.Outcome) bool {
+		n++
+		return n < 5
+	})
+	if executed != 5 {
+		t.Fatalf("executed=%d, want 5", executed)
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := NewBuilder("bad")
+	b.Branch(isa.OpBeq, 0, 0, "nowhere")
+	b.Halt()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "nowhere") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBuilderRedefinedLabel(t *testing.T) {
+	b := NewBuilder("bad")
+	b.Label("x")
+	b.Label("x")
+	b.Halt()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "redefined") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBuilderBranchRangeCheck(t *testing.T) {
+	b := NewBuilder("far")
+	b.Branch(isa.OpBeq, 0, 0, "far_away")
+	for i := 0; i < 40000; i++ {
+		b.OpImm(isa.OpAddi, 1, 1, 1)
+	}
+	b.Label("far_away")
+	b.Halt()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "displacement") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBuilderJumpReachesFar(t *testing.T) {
+	b := NewBuilder("farjump")
+	b.Jump("far_away")
+	for i := 0; i < 40000; i++ {
+		b.OpImm(isa.OpAddi, 1, 1, 1)
+	}
+	b.Label("far_away")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("26-bit jump should reach: %v", err)
+	}
+	executed, halted := Run(p, 0, nil)
+	if !halted || executed != 2 {
+		t.Fatalf("executed=%d halted=%v", executed, halted)
+	}
+}
+
+func TestVerifyRejectsMissingHalt(t *testing.T) {
+	p := &Program{Name: "nohalt", Insts: []isa.Instruction{{Op: isa.OpNop}}}
+	if err := Verify(p); !errors.Is(err, ErrNoHalt) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVerifyRejectsBadTarget(t *testing.T) {
+	p := &Program{Name: "bad", Insts: []isa.Instruction{
+		{Op: isa.OpJ, Target: 100},
+		{Op: isa.OpHalt},
+	}}
+	if err := Verify(p); err == nil || !strings.Contains(err.Error(), "target") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVerifyRejectsInvalidOpcode(t *testing.T) {
+	p := &Program{Name: "bad", Insts: []isa.Instruction{
+		{Op: isa.Opcode(240)},
+		{Op: isa.OpHalt},
+	}}
+	if err := Verify(p); err == nil || !strings.Contains(err.Error(), "opcode") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFetchOutOfRangeHalts(t *testing.T) {
+	p := buildLoop(t, 1)
+	inst := p.Fetch(uint64(p.Len()) + 100)
+	if inst.Op != isa.OpHalt {
+		t.Fatalf("out-of-image fetch = %v", inst)
+	}
+}
+
+func TestCallAndReturn(t *testing.T) {
+	b := NewBuilder("callret")
+	b.Call("fn", 31)
+	b.OpImm(isa.OpAddi, 3, 3, 100) // after return
+	b.Halt()
+	b.Label("fn")
+	b.OpImm(isa.OpAddi, 4, 0, 7)
+	b.Return(31)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r3, r4 uint64
+	Run(p, 0, func(pc uint64, inst isa.Instruction, o isa.Outcome) bool {
+		if o.RegWrite {
+			switch o.Reg {
+			case 3:
+				r3 = o.Value
+			case 4:
+				r4 = o.Value
+			}
+		}
+		return true
+	})
+	if r3 != 100 || r4 != 7 {
+		t.Fatalf("r3=%d r4=%d", r3, r4)
+	}
+}
+
+func TestLoadImm64(t *testing.T) {
+	b := NewBuilder("imm")
+	b.LoadImm64(5, 0xdeadbeef)
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got uint64
+	Run(p, 0, func(pc uint64, inst isa.Instruction, o isa.Outcome) bool {
+		if o.RegWrite && o.Reg == 5 {
+			got = o.Value
+		}
+		return true
+	})
+	if got != 0xdeadbeef {
+		t.Fatalf("LoadImm64 = %#x", got)
+	}
+}
+
+func TestLoadImm64LowZero(t *testing.T) {
+	b := NewBuilder("imm0")
+	b.LoadImm64(5, 0x10000)
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := isa.NewArchState()
+	RunFrom(p, st, 0, nil)
+	if st.R[5] != 0x10000 {
+		t.Fatalf("r5 = %#x", st.R[5])
+	}
+	// With a zero low half, only the lui is emitted.
+	if p.Len() != 2 {
+		t.Fatalf("program length %d, want 2 (lui + halt)", p.Len())
+	}
+}
+
+func TestBackwardAndForwardBranches(t *testing.T) {
+	b := NewBuilder("dirs")
+	b.OpImm(isa.OpAddi, 1, 0, 2)
+	b.Label("back")
+	b.OpImm(isa.OpAddi, 1, 1, -1)
+	b.Branch(isa.OpBeq, 1, 0, "fwd") // exits loop when r1 == 0
+	b.Branch(isa.OpBne, 1, 0, "back")
+	b.Label("fwd")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, halted := Run(p, 100, nil)
+	if !halted {
+		t.Fatal("did not halt")
+	}
+}

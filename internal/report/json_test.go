@@ -1,0 +1,77 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"itr/internal/core"
+	"itr/internal/fault"
+	"itr/internal/stats"
+)
+
+func TestEncodeSeriesRoundTrip(t *testing.T) {
+	fig := EncodeSeries("figure1", "test figure", "top-k", "%", []stats.Series{
+		{Name: "bzip", Points: []stats.Point{{X: 100, Y: 99}, {X: 200, Y: 100}}},
+	})
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, fig); err != nil {
+		t.Fatal(err)
+	}
+	var back FigureJSON
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != "figure1" || len(back.Series) != 1 {
+		t.Fatalf("round trip: %+v", back)
+	}
+	s := back.Series[0]
+	if s.Name != "bzip" || len(s.X) != 2 || s.Y[0] != 99 {
+		t.Fatalf("series: %+v", s)
+	}
+}
+
+func TestEncodeCoverage(t *testing.T) {
+	cells := []CoverageCell{{
+		Benchmark: "vortex",
+		Config:    core.Config{Entries: 1024, Assoc: 2},
+		Result:    core.Result{DetectionLoss: 8.2, RecoveryLoss: 15, TotalInsts: 100},
+	}}
+	out := EncodeCoverage(cells)
+	if len(out) != 1 || out[0].Config != "2-way/1024" || out[0].DetectionLoss != 8.2 {
+		t.Fatalf("encode: %+v", out)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, out); err != nil {
+		t.Fatal(err)
+	}
+	var back []CoverageJSON
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back[0].RecoveryLoss != 15 {
+		t.Fatalf("round trip: %+v", back)
+	}
+}
+
+func TestEncodeCampaigns(t *testing.T) {
+	rows := []Figure8Row{{
+		Benchmark: "gap",
+		Result: fault.CampaignResult{
+			Benchmark: "gap",
+			Total:     100,
+			Counts:    map[fault.Category]int{fault.ITRMask: 60, fault.ITRSDCR: 30},
+		},
+	}}
+	out := EncodeCampaigns(rows)
+	if len(out) != 1 || out[0].Detected != 90 {
+		t.Fatalf("encode: %+v", out)
+	}
+	if out[0].Categories[string(fault.ITRMask)] != 60 {
+		t.Fatalf("categories: %+v", out[0].Categories)
+	}
+	// All ten categories present (zeros included).
+	if len(out[0].Categories) != 10 {
+		t.Fatalf("category count: %d", len(out[0].Categories))
+	}
+}

@@ -1,0 +1,192 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Total() != 0 {
+		t.Fatal("empty histogram should have zero total")
+	}
+	h.Add(5)
+	h.AddWeighted(10, 3)
+	if got := h.Total(); got != 4 {
+		t.Fatalf("total = %v, want 4", got)
+	}
+	if got := h.Weight(10); got != 3 {
+		t.Fatalf("weight(10) = %v, want 3", got)
+	}
+	if got := h.Weight(999); got != 0 {
+		t.Fatalf("weight(999) = %v, want 0", got)
+	}
+}
+
+func TestHistogramCumulativeBelow(t *testing.T) {
+	h := NewHistogram()
+	h.AddWeighted(100, 1)
+	h.AddWeighted(200, 1)
+	h.AddWeighted(300, 2)
+	cases := []struct {
+		v    int64
+		want float64
+	}{
+		{50, 0}, {100, 0}, {101, 0.25}, {201, 0.5}, {301, 1.0},
+	}
+	for _, c := range cases {
+		if got := h.CumulativeBelow(c.v); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("CumulativeBelow(%d) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestHistogramCumulativeEmptyIsZero(t *testing.T) {
+	h := NewHistogram()
+	if got := h.CumulativeBelow(100); got != 0 {
+		t.Fatalf("empty histogram cumulative = %v", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram()
+	h.AddWeighted(250, 50) // < 500
+	h.AddWeighted(750, 30) // < 1000
+	h.AddWeighted(9999, 20)
+	pts := h.Buckets(500, 10000)
+	if len(pts) != 20 {
+		t.Fatalf("got %d buckets, want 20", len(pts))
+	}
+	if pts[0].UpperEdge != 500 || math.Abs(pts[0].CumulativePct-50) > 1e-9 {
+		t.Fatalf("first bucket = %+v", pts[0])
+	}
+	if math.Abs(pts[1].CumulativePct-80) > 1e-9 {
+		t.Fatalf("second bucket pct = %v, want 80", pts[1].CumulativePct)
+	}
+	if math.Abs(pts[19].CumulativePct-100) > 1e-9 {
+		t.Fatalf("last bucket pct = %v, want 100", pts[19].CumulativePct)
+	}
+}
+
+func TestHistogramBucketsMonotone(t *testing.T) {
+	if err := quick.Check(func(vals []uint16) bool {
+		h := NewHistogram()
+		for _, v := range vals {
+			h.Add(int64(v))
+		}
+		pts := h.Buckets(500, 65536+500)
+		prev := -1.0
+		for _, p := range pts {
+			if p.CumulativePct < prev-1e-9 {
+				return false
+			}
+			prev = p.CumulativePct
+		}
+		return len(vals) == 0 || math.Abs(prev-100) < 1e-9
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramBucketsZeroWidth(t *testing.T) {
+	h := NewHistogram()
+	h.Add(1)
+	if pts := h.Buckets(0, 1000); pts != nil {
+		t.Fatal("zero width should return nil")
+	}
+}
+
+func TestHistogramValuesSorted(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int64{9, 3, 7, 1, 3} {
+		h.Add(v)
+	}
+	vs := h.Values()
+	want := []int64{1, 3, 7, 9}
+	if len(vs) != len(want) {
+		t.Fatalf("values = %v", vs)
+	}
+	for i := range want {
+		if vs[i] != want[i] {
+			t.Fatalf("values = %v, want %v", vs, want)
+		}
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter()
+	c.Inc("a", 2)
+	c.Inc("b", 3)
+	c.Inc("a", 5)
+	if got := c.Get("a"); got != 7 {
+		t.Fatalf("a = %d", got)
+	}
+	if got := c.Total(); got != 10 {
+		t.Fatalf("total = %d", got)
+	}
+	if got := c.Pct("b"); math.Abs(got-30) > 1e-9 {
+		t.Fatalf("pct(b) = %v", got)
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestCounterEmptyPct(t *testing.T) {
+	c := NewCounter()
+	if got := c.Pct("missing"); got != 0 {
+		t.Fatalf("pct on empty counter = %v", got)
+	}
+}
+
+func TestMeanMax(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v", got)
+	}
+	if got := Mean([]float64{1, 2, 3}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := Max(nil); got != 0 {
+		t.Fatalf("Max(nil) = %v", got)
+	}
+	if got := Max([]float64{1, 5, 3}); got != 5 {
+		t.Fatalf("Max = %v", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("x", 1)
+	tb.AddRow("longer-name", 3.14159)
+	out := tb.String()
+	if out == "" {
+		t.Fatal("empty render")
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	// Float cells render with two decimals.
+	if want := "3.14"; !contains(out, want) {
+		t.Fatalf("rendered table missing %q:\n%s", want, out)
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	s := []Series{
+		{Name: "a", Points: []Point{{X: 1, Y: 10}, {X: 2, Y: 20}}},
+		{Name: "b", Points: []Point{{X: 1, Y: 30}}},
+	}
+	out := RenderSeries("x", s, "%.0f")
+	if !contains(out, "a") || !contains(out, "b") || !contains(out, "30.0") {
+		t.Fatalf("bad render:\n%s", out)
+	}
+	// Missing point renders as "-".
+	if !contains(out, "-") {
+		t.Fatalf("missing point should render as dash:\n%s", out)
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }

@@ -1,0 +1,76 @@
+// Package stats provides deterministic randomness, histogram and CDF
+// utilities, and plain-text table rendering shared by the ITR simulator,
+// workload synthesizer, fault-injection campaigns and report generators.
+//
+// Everything in this package is deterministic: random sequences are fully
+// determined by an explicit 64-bit seed so that every experiment in the
+// repository regenerates identical numbers.
+package stats
+
+// RNG is a small, fast, deterministic pseudo-random generator based on
+// splitmix64 (Steele, Lea, Flood 2014). It is not cryptographically secure;
+// it exists so simulations are reproducible without importing math/rand
+// state that may change across Go releases.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. Two RNGs with the same seed
+// produce identical sequences.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64-bit value in the sequence.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform value in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uint64n returns a uniform value in [0, n). n must be positive.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	return r.Uint64() % n
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Fork derives an independent generator from this one. The derived stream is
+// decorrelated from the parent by mixing in a stream label.
+func (r *RNG) Fork(label uint64) *RNG {
+	return NewRNG(r.Uint64() ^ (label * 0xd6e8feb86659fd93))
+}
+
+// Perm returns a pseudo-random permutation of [0, n) using Fisher-Yates.
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

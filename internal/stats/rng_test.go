@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("sequence diverged at %d: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical values", same)
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	if err := quick.Check(func(seed uint64, n int) bool {
+		if n <= 0 {
+			n = 1
+		}
+		n = n%1000 + 1
+		r := NewRNG(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGIntnDegenerate(t *testing.T) {
+	r := NewRNG(7)
+	if got := r.Intn(0); got != 0 {
+		t.Fatalf("Intn(0) = %d, want 0", got)
+	}
+	if got := r.Intn(-5); got != 0 {
+		t.Fatalf("Intn(-5) = %d, want 0", got)
+	}
+	if got := r.Uint64n(0); got != 0 {
+		t.Fatalf("Uint64n(0) = %d, want 0", got)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(99)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestRNGFloat64Mean(t *testing.T) {
+	r := NewRNG(123)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if mean < 0.49 || mean > 0.51 {
+		t.Fatalf("mean %v too far from 0.5", mean)
+	}
+}
+
+func TestRNGBoolProbability(t *testing.T) {
+	r := NewRNG(55)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.23 || frac > 0.27 {
+		t.Fatalf("Bool(0.25) hit fraction %v", frac)
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	parent := NewRNG(10)
+	f1 := parent.Fork(1)
+	f2 := parent.Fork(1) // second fork draws a different parent value
+	if f1.Uint64() == f2.Uint64() {
+		t.Fatal("forked streams should differ")
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(77)
+	p := r.Perm(100)
+	seen := make(map[int]bool)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("invalid permutation element %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 100 {
+		t.Fatalf("permutation has %d distinct elements, want 100", len(seen))
+	}
+}
+
+func TestRNGPermIsShuffled(t *testing.T) {
+	r := NewRNG(78)
+	p := r.Perm(100)
+	inPlace := 0
+	for i, v := range p {
+		if i == v {
+			inPlace++
+		}
+	}
+	if inPlace > 20 {
+		t.Fatalf("permutation looks unshuffled: %d fixed points", inPlace)
+	}
+}
+
+func TestRNGUniformity(t *testing.T) {
+	// Chi-squared-ish sanity check over 16 buckets.
+	r := NewRNG(2024)
+	var buckets [16]int
+	const n = 160000
+	for i := 0; i < n; i++ {
+		buckets[r.Intn(16)]++
+	}
+	for i, c := range buckets {
+		if c < n/16-n/160 || c > n/16+n/160 {
+			t.Fatalf("bucket %d count %d deviates >10%% from expectation %d", i, c, n/16)
+		}
+	}
+}

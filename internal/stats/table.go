@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders aligned plain-text tables for the cmd tools and
+// EXPERIMENTS.md. Columns are sized to their widest cell.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable returns a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row. Cells are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows added so far.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table with a header rule.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(c, widths[i]))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Series is a named sequence of (x, y) points, the unit of data behind the
+// paper's line charts (Figures 1-4) and bar charts (Figures 6-9).
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Point is a single (x, y) sample.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// RenderSeries formats a set of series as a compact aligned listing,
+// one x-value per row and one column per series.
+func RenderSeries(xLabel string, series []Series, xFormat string) string {
+	header := []string{xLabel}
+	for _, s := range series {
+		header = append(header, s.Name)
+	}
+	t := NewTable(header...)
+	if len(series) == 0 {
+		return t.String()
+	}
+	n := len(series[0].Points)
+	for i := 0; i < n; i++ {
+		cells := make([]interface{}, 0, len(series)+1)
+		cells = append(cells, fmt.Sprintf(xFormat, series[0].Points[i].X))
+		for _, s := range series {
+			if i < len(s.Points) {
+				cells = append(cells, fmt.Sprintf("%.1f", s.Points[i].Y))
+			} else {
+				cells = append(cells, "-")
+			}
+		}
+		t.AddRow(cells...)
+	}
+	return t.String()
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Max returns the maximum of xs, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

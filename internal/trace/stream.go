@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"itr/internal/isa"
+	"itr/internal/program"
+)
+
+// Stream functionally executes p for at most limit dynamic instructions,
+// forming traces and invoking fn for each completed trace event (including a
+// final partial trace at program end). Returning false from fn stops the
+// run. It returns the number of dynamic instructions executed.
+func Stream(p *program.Program, limit int64, fn func(Event) bool) int64 {
+	var former Former
+	stop := false
+	executed, _ := program.Run(p, limit, func(pc uint64, inst isa.Instruction, o isa.Outcome) bool {
+		ev, done := former.Step(pc, isa.Decode(inst))
+		if done && !fn(ev) {
+			stop = true
+			return false
+		}
+		return true
+	})
+	if !stop {
+		if ev, ok := former.Flush(); ok {
+			fn(ev)
+		}
+	}
+	return executed
+}
+
+// Characterize runs p for at most limit dynamic instructions and returns its
+// repetition characterization.
+func Characterize(p *program.Program, limit int64) *Characterizer {
+	c := NewCharacterizer()
+	Stream(p, limit, func(ev Event) bool {
+		c.Add(ev)
+		return true
+	})
+	return c
+}
+
+// StaticTraceCount walks the program image statically (without executing)
+// and returns the number of distinct trace start PCs reachable by sequential
+// decomposition from the entry point. Register-indirect jump targets are not
+// statically knowable, so programs using them may undercount; it is a
+// structural helper used in tests. The dynamic count from Characterize is
+// the paper's metric.
+func StaticTraceCount(p *program.Program) int {
+	starts := make(map[uint64]bool)
+	pending := []uint64{p.Entry}
+	for len(pending) > 0 {
+		pc := pending[len(pending)-1]
+		pending = pending[:len(pending)-1]
+		if pc >= uint64(len(p.Insts)) || starts[pc] {
+			continue
+		}
+		starts[pc] = true
+		// Walk the trace from pc to its terminator.
+		cur := pc
+		n := 0
+		for {
+			inst := p.Fetch(cur)
+			n++
+			d := isa.Decode(inst)
+			if d.IsBranching() {
+				// Successors: fall-through trace and target trace.
+				if !d.HasFlag(isa.FlagUncond) {
+					pending = append(pending, cur+1)
+					pending = append(pending, cur+1+uint64(int64(int16(inst.Imm))))
+				} else if inst.Op == isa.OpJ || inst.Op == isa.OpJal {
+					pending = append(pending, uint64(inst.Target))
+					if inst.Op == isa.OpJal {
+						pending = append(pending, cur+1)
+					}
+				}
+				break
+			}
+			if inst.Op == isa.OpHalt {
+				break
+			}
+			if n >= isa.MaxTraceLen {
+				pending = append(pending, cur+1)
+				break
+			}
+			cur++
+		}
+	}
+	return len(starts)
+}

@@ -1,0 +1,344 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"itr/internal/isa"
+	"itr/internal/program"
+	"itr/internal/sig"
+)
+
+func decodeOf(op isa.Opcode) isa.DecodeSignals {
+	return isa.Decode(isa.Instruction{Op: op})
+}
+
+func TestFormerTerminatesOnBranch(t *testing.T) {
+	var f Former
+	if _, done := f.Step(10, decodeOf(isa.OpAdd)); done {
+		t.Fatal("non-branch terminated trace")
+	}
+	ev, done := f.Step(11, decodeOf(isa.OpBeq))
+	if !done {
+		t.Fatal("branch did not terminate trace")
+	}
+	if ev.StartPC != 10 || ev.Len != 2 || !ev.Branch {
+		t.Fatalf("event: %+v", ev)
+	}
+}
+
+func TestFormerTerminatesAt16(t *testing.T) {
+	var f Former
+	for i := 0; i < isa.MaxTraceLen-1; i++ {
+		if _, done := f.Step(uint64(i), decodeOf(isa.OpAdd)); done {
+			t.Fatalf("terminated early at %d", i)
+		}
+	}
+	ev, done := f.Step(15, decodeOf(isa.OpAdd))
+	if !done {
+		t.Fatal("did not terminate at 16")
+	}
+	if ev.Len != 16 || ev.Branch {
+		t.Fatalf("event: %+v", ev)
+	}
+}
+
+func TestFormerNextTraceStartsAfterTerminator(t *testing.T) {
+	var f Former
+	f.Step(10, decodeOf(isa.OpBeq)) // 1-instruction trace
+	ev, done := f.Step(42, decodeOf(isa.OpJ))
+	if !done || ev.StartPC != 42 {
+		t.Fatalf("second trace: %+v done=%v", ev, done)
+	}
+}
+
+func TestFormerSignatureMatchesAccumulation(t *testing.T) {
+	insts := []isa.Instruction{
+		{Op: isa.OpAddi, Rd: 1, Imm: 7},
+		{Op: isa.OpLw, Rd: 2, Rs1: 1},
+		{Op: isa.OpBne, Rs1: 2, Rs2: 0, Imm: 5},
+	}
+	var f Former
+	var ev Event
+	done := false
+	for i, inst := range insts {
+		ev, done = f.Step(uint64(100+i), isa.Decode(inst))
+	}
+	if !done {
+		t.Fatal("trace not closed")
+	}
+	if ev.Sig != sig.Of(insts) {
+		t.Fatalf("sig %#x, want %#x", ev.Sig, sig.Of(insts))
+	}
+}
+
+func TestFormerFlushAndReset(t *testing.T) {
+	var f Former
+	f.Step(5, decodeOf(isa.OpAdd))
+	if f.Pending() != 1 {
+		t.Fatalf("pending = %d", f.Pending())
+	}
+	ev, ok := f.Flush()
+	if !ok || ev.StartPC != 5 || ev.Len != 1 || ev.Branch {
+		t.Fatalf("flush: %+v ok=%v", ev, ok)
+	}
+	if _, ok := f.Flush(); ok {
+		t.Fatal("double flush succeeded")
+	}
+
+	f.Step(6, decodeOf(isa.OpAdd))
+	f.Reset()
+	if f.Pending() != 0 {
+		t.Fatal("reset left pending instructions")
+	}
+	ev, done := f.Step(9, decodeOf(isa.OpBeq))
+	if !done || ev.StartPC != 9 || ev.Len != 1 {
+		t.Fatalf("post-reset trace: %+v", ev)
+	}
+}
+
+// Property: the trace former partitions any instruction stream — every
+// instruction lands in exactly one trace, and every trace has 1..16
+// instructions with branches only at trace ends.
+func TestPropertyFormerPartitionsStream(t *testing.T) {
+	ops := []isa.Opcode{isa.OpAdd, isa.OpLw, isa.OpSw, isa.OpBeq, isa.OpJ, isa.OpMul}
+	if err := quick.Check(func(sel []uint8) bool {
+		var f Former
+		total := 0
+		var events []Event
+		for i, s := range sel {
+			op := ops[int(s)%len(ops)]
+			ev, done := f.Step(uint64(i), decodeOf(op))
+			if done {
+				events = append(events, ev)
+			}
+		}
+		if ev, ok := f.Flush(); ok {
+			events = append(events, ev)
+		}
+		for _, ev := range events {
+			if ev.Len < 1 || ev.Len > isa.MaxTraceLen {
+				return false
+			}
+			total += ev.Len
+		}
+		return total == len(sel)
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (the ITR premise): a static trace identified by start PC always
+// produces the same signature across dynamic instances.
+func TestPropertySignatureStablePerStartPC(t *testing.T) {
+	p := loopProgram(t)
+	c := NewCharacterizer()
+	Stream(p, 10000, func(ev Event) bool {
+		c.Add(ev)
+		return true
+	})
+	if got := c.SignatureConflicts(); got != 0 {
+		t.Fatalf("%d static traces produced conflicting signatures", got)
+	}
+	if c.StaticTraces() == 0 {
+		t.Fatal("no traces observed")
+	}
+}
+
+func loopProgram(t *testing.T) *program.Program {
+	t.Helper()
+	b := program.NewBuilder("loop")
+	b.OpImm(isa.OpAddi, 1, 0, 500)
+	b.Label("top")
+	b.OpImm(isa.OpAddi, 2, 2, 3)
+	b.Op(isa.OpAdd, 3, 2, 2)
+	b.OpImm(isa.OpAddi, 1, 1, -1)
+	b.Branch(isa.OpBne, 1, 0, "top")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCharacterizerCounts(t *testing.T) {
+	c := NewCharacterizer()
+	// Trace A (pc 0, 4 insts) repeats at distance 7; trace B once.
+	c.Add(Event{StartPC: 0, Len: 4, Sig: 1})
+	c.Add(Event{StartPC: 100, Len: 3, Sig: 2})
+	c.Add(Event{StartPC: 0, Len: 4, Sig: 1})
+	if c.StaticTraces() != 2 {
+		t.Fatalf("static = %d", c.StaticTraces())
+	}
+	if c.DynamicInstructions() != 11 {
+		t.Fatalf("dyn = %d", c.DynamicInstructions())
+	}
+	// Repeat distance for A's second instance: started at dyn 7, previous
+	// start at 0 → distance 7, weight 4 instructions.
+	if got := c.RepeatFractionWithin(8); got < 36 || got > 37 {
+		t.Fatalf("repeat fraction = %v, want 4/11", got)
+	}
+	if got := c.RepeatFractionWithin(7); got != 0 {
+		t.Fatalf("distance 7 not < 7: %v", got)
+	}
+}
+
+func TestCharacterizerPopularityCDF(t *testing.T) {
+	c := NewCharacterizer()
+	for i := 0; i < 90; i++ {
+		c.Add(Event{StartPC: 1, Len: 1})
+	}
+	for i := 0; i < 10; i++ {
+		c.Add(Event{StartPC: uint64(100 + i), Len: 1})
+	}
+	pts := c.PopularityCDF(1, 3)
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].Y != 90 {
+		t.Fatalf("top-1 coverage = %v, want 90", pts[0].Y)
+	}
+	if got := c.CoverageAtTopK(11); got != 100 {
+		t.Fatalf("top-11 = %v", got)
+	}
+}
+
+func TestCharacterizerDistanceBuckets(t *testing.T) {
+	c := NewCharacterizer()
+	// Build a known distance distribution: 10-inst trace repeating
+	// back-to-back (distance 10).
+	for i := 0; i < 100; i++ {
+		c.Add(Event{StartPC: 7, Len: 10})
+	}
+	pts := c.DistanceBuckets(500, 10000)
+	if len(pts) != 20 {
+		t.Fatalf("buckets = %d", len(pts))
+	}
+	// 99 of 100 instances are repeats: 990/1000 = 99%.
+	if pts[0].CumulativePct != 99 {
+		t.Fatalf("first bucket = %v, want 99", pts[0].CumulativePct)
+	}
+	if pts[19].CumulativePct != 99 {
+		t.Fatalf("monotone tail = %v", pts[19].CumulativePct)
+	}
+}
+
+func TestCharacterizerEmpty(t *testing.T) {
+	c := NewCharacterizer()
+	if got := c.RepeatFractionWithin(1000); got != 0 {
+		t.Fatalf("empty fraction = %v", got)
+	}
+	if pts := c.PopularityCDF(100, 500); len(pts) != 5 {
+		t.Fatalf("empty CDF points = %d", len(pts))
+	}
+}
+
+func TestStreamEndsWithPartialTrace(t *testing.T) {
+	p := loopProgram(t)
+	var events []Event
+	executed := Stream(p, 10, func(ev Event) bool {
+		events = append(events, ev)
+		return true
+	})
+	if executed != 10 {
+		t.Fatalf("executed = %d", executed)
+	}
+	total := 0
+	for _, ev := range events {
+		total += ev.Len
+	}
+	if total != 10 {
+		t.Fatalf("trace instructions %d != executed 10 (flush missing?)", total)
+	}
+}
+
+func TestStreamEarlyStop(t *testing.T) {
+	p := loopProgram(t)
+	n := 0
+	Stream(p, 1000, func(ev Event) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("callbacks = %d", n)
+	}
+}
+
+func TestStaticTraceCountOnLoop(t *testing.T) {
+	p := loopProgram(t)
+	static := StaticTraceCount(p)
+	// Dynamic observation must agree, modulo the never-executed halt path
+	// (here the halt IS executed, so counts match exactly).
+	c := Characterize(p, 0)
+	if static != c.StaticTraces() {
+		t.Fatalf("static walk %d != dynamic %d", static, c.StaticTraces())
+	}
+}
+
+func TestCharacterizeRunsProgram(t *testing.T) {
+	p := loopProgram(t)
+	c := Characterize(p, 2000)
+	if c.DynamicInstructions() != 2000 {
+		t.Fatalf("dyn = %d", c.DynamicInstructions())
+	}
+	// The loop body dominates: top-2 traces should cover nearly all
+	// instructions.
+	if got := c.CoverageAtTopK(2); got < 90 {
+		t.Fatalf("top-2 coverage = %v", got)
+	}
+}
+
+func TestFlushMarksPartial(t *testing.T) {
+	var f Former
+	f.Step(5, decodeOf(isa.OpAdd))
+	ev, ok := f.Flush()
+	if !ok || !ev.Partial {
+		t.Fatalf("flush event: %+v", ev)
+	}
+	// Regular terminations are never partial.
+	ev, done := f.Step(6, decodeOf(isa.OpBeq))
+	if !done || ev.Partial {
+		t.Fatalf("branch-terminated event marked partial: %+v", ev)
+	}
+}
+
+func TestPartialEventDoesNotFlagConflict(t *testing.T) {
+	c := NewCharacterizer()
+	c.Add(Event{StartPC: 5, Len: 4, Sig: 0xaaaa})
+	// A truncated instance of the same trace carries a prefix signature.
+	c.Add(Event{StartPC: 5, Len: 2, Sig: 0xbbbb, Partial: true})
+	if c.SignatureConflicts() != 0 {
+		t.Fatal("partial instance flagged as signature conflict")
+	}
+	// A full instance with a different signature IS a conflict.
+	c.Add(Event{StartPC: 5, Len: 4, Sig: 0xcccc})
+	if c.SignatureConflicts() != 1 {
+		t.Fatal("real conflict not flagged")
+	}
+}
+
+func TestStaticTraceCountNeverTakenTargetsAddNothing(t *testing.T) {
+	// A never-taken branch whose taken-target is the next instruction must
+	// not create an extra static trace (the workload synthesizer depends
+	// on this for exact Table 1 calibration).
+	b := program.NewBuilder("nt")
+	b.OpImm(isa.OpAddi, 1, 0, 3)
+	b.Label("top")
+	b.OpImm(isa.OpAddi, 2, 2, 1)
+	l := "next"
+	b.Branch(isa.OpBne, 0, 0, l) // never taken, target = next pc
+	b.Label(l)
+	b.OpImm(isa.OpAddi, 1, 1, -1)
+	b.Branch(isa.OpBne, 1, 0, "top")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	static := StaticTraceCount(p)
+	dynamic := Characterize(p, 0).StaticTraces()
+	if static != dynamic {
+		t.Fatalf("static walk %d != dynamic %d", static, dynamic)
+	}
+}

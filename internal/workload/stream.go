@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"sync"
+
+	"itr/internal/program"
+	"itr/internal/trace"
+)
+
+// DefaultBudget is the default dynamic-instruction budget per benchmark. The
+// paper simulates 200M instructions after a 900M skip; coverage ratios for
+// these loop-structured workloads converge far below that, and every tool
+// accepts a flag to raise the budget to paper scale.
+const DefaultBudget = 4_000_000
+
+// Events builds the benchmark program and returns its dynamic trace-event
+// stream for the given instruction budget, along with the instructions
+// executed. The stream is what drives the ITR cache: coverage sweeps replay
+// it against many cache configurations without re-running the program.
+func Events(p Profile, budget int64) ([]trace.Event, int64, error) {
+	prog, err := Build(p)
+	if err != nil {
+		return nil, 0, err
+	}
+	events, executed := EventsOf(prog, budget)
+	return events, executed, nil
+}
+
+// EventsOf streams an already-built program, returning the trace events and
+// the number of dynamic instructions executed.
+func EventsOf(prog *program.Program, budget int64) ([]trace.Event, int64) {
+	events := make([]trace.Event, 0, budget/8)
+	executed := trace.Stream(prog, budget, func(ev trace.Event) bool {
+		events = append(events, ev)
+		return true
+	})
+	return events, executed
+}
+
+// cacheEntry memoizes built programs and event streams per benchmark so that
+// sweeps over 18 cache configurations pay for synthesis and functional
+// execution once.
+type cacheEntry struct {
+	prog   *program.Program
+	events []trace.Event
+	budget int64
+}
+
+var (
+	cacheMu sync.Mutex
+	cached  = make(map[string]*cacheEntry)
+)
+
+// CachedProgram returns a memoized build of p.
+func CachedProgram(p Profile) (*program.Program, error) {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if e, ok := cached[p.Name]; ok && e.prog != nil {
+		return e.prog, nil
+	}
+	prog, err := Build(p)
+	if err != nil {
+		return nil, err
+	}
+	e := cached[p.Name]
+	if e == nil {
+		e = &cacheEntry{}
+		cached[p.Name] = e
+	}
+	e.prog = prog
+	return prog, nil
+}
+
+// CachedEvents returns a memoized trace-event stream for p at the given
+// budget. Streams cached at a different budget are regenerated.
+func CachedEvents(p Profile, budget int64) ([]trace.Event, error) {
+	prog, err := CachedProgram(p)
+	if err != nil {
+		return nil, err
+	}
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	e := cached[p.Name]
+	if e.events == nil || e.budget != budget {
+		e.events, _ = EventsOf(prog, budget)
+		e.budget = budget
+	}
+	return e.events, nil
+}
