@@ -20,6 +20,7 @@ import (
 	"itr/internal/fault"
 	"itr/internal/isa"
 	"itr/internal/pipeline"
+	"itr/internal/program"
 	"itr/internal/report"
 	"itr/internal/sig"
 	"itr/internal/trace"
@@ -495,6 +496,99 @@ func BenchmarkCacheFaults(b *testing.B) {
 		b.ReportMetric(float64(res.Counts[fault.CacheParityRepaired]), "parity-repairs")
 	}
 }
+
+// ---- performance-architecture benchmarks (decode memoization + sweep engine) ----
+
+// benchProgram returns the memoized gap program for the decode benchmarks.
+func benchProgram(b *testing.B) *program.Program {
+	b.Helper()
+	prof, err := workload.ByName("gap")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := workload.CachedProgram(prof)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prog
+}
+
+// BenchmarkDecodeFull measures the unmemoized per-instruction cost the hot
+// loop used to pay: a full decode plus a signal-word pack.
+func BenchmarkDecodeFull(b *testing.B) {
+	prog := benchProgram(b)
+	n := uint64(len(prog.Insts))
+	b.ReportAllocs()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= isa.Decode(prog.Fetch(uint64(i) % n)).Pack()
+	}
+	_ = sink
+}
+
+// BenchmarkDecodeMemoized measures the DecodeTable fast path that replaces
+// it: one array index per dynamic instruction.
+func BenchmarkDecodeMemoized(b *testing.B) {
+	prog := benchProgram(b)
+	tab := prog.DecodeTable()
+	n := uint64(tab.Len())
+	b.ReportAllocs()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= tab.Word(uint64(i) % n)
+	}
+	_ = sink
+}
+
+// BenchmarkTraceStream measures end-to-end functional execution with trace
+// formation — the event-generation phase of every sweep — in dynamic
+// instructions per op.
+func BenchmarkTraceStream(b *testing.B) {
+	prog := benchProgram(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		events := 0
+		trace.Stream(prog, 200_000, func(trace.Event) bool {
+			events++
+			return true
+		})
+		if events == 0 {
+			b.Fatal("no trace events")
+		}
+	}
+}
+
+// sweepEngineBench runs the full 16-benchmark x 18-configuration design-space
+// sweep at the given worker-pool width.
+func sweepEngineBench(b *testing.B, workers int) {
+	report.SetWorkers(workers)
+	defer report.SetWorkers(0)
+	// One untimed sweep first: event streams are memoized per benchmark, so
+	// this pins the measurement to the replay engine rather than charging
+	// whichever variant runs first for one-time event generation.
+	if _, err := report.CoverageSweepWarm(workload.Suite(), core.DesignSpace(), benchBudget, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cells, err := report.CoverageSweepWarm(workload.Suite(), core.DesignSpace(), benchBudget, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cells) != len(workload.Suite())*len(core.DesignSpace()) {
+			b.Fatalf("sweep returned %d cells", len(cells))
+		}
+	}
+}
+
+// BenchmarkCoverageSweepSerial is the design-space sweep pinned to one
+// worker — the regression baseline for the single-core hot path.
+func BenchmarkCoverageSweepSerial(b *testing.B) { sweepEngineBench(b, 1) }
+
+// BenchmarkCoverageSweepParallel is the same sweep on the default pool
+// (GOMAXPROCS workers); on a multi-core host the speedup over Serial is the
+// parallel engine's contribution, and results are bit-identical either way.
+func BenchmarkCoverageSweepParallel(b *testing.B) { sweepEngineBench(b, 0) }
 
 // BenchmarkPerfComparison measures the Section 5 performance argument: the
 // IPC cost of each frontend-protection scheme on the cycle-level core.

@@ -57,7 +57,9 @@ func run() error {
 	table1 := flag.Bool("table1", false, "print Table 1 (static trace counts)")
 	budget := flag.Int64("budget", workload.DefaultBudget, "dynamic-instruction budget per benchmark (scaled per profile)")
 	jsonPath := flag.String("json", "", "also write the regenerated figures to this JSON file")
+	workers := flag.Int("workers", 0, "worker-pool width for per-benchmark characterization (0 = GOMAXPROCS); results are identical at any width")
 	flag.Parse()
+	report.SetWorkers(*workers)
 
 	out := &jsonOut{path: *jsonPath}
 	all := *fig == 0 && !*table1

@@ -39,7 +39,9 @@ func run() error {
 	budget := flag.Int64("budget", workload.DefaultBudget, "dynamic-instruction budget per benchmark")
 	warmup := flag.Int64("warmup", 0, "instructions to warm the ITR cache before measurement (paper: 900M skip)")
 	jsonPath := flag.String("json", "", "also write the sweep cells to this JSON file")
+	workers := flag.Int("workers", 0, "worker-pool width for the sweep (0 = GOMAXPROCS); results are identical at any width")
 	flag.Parse()
+	report.SetWorkers(*workers)
 
 	if *headline {
 		h, err := report.HeadlineCoverage(*budget)

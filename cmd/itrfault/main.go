@@ -45,11 +45,16 @@ func run() error {
 	cacheFaults := flag.Int("cache", 0, "run a Section 2.4 ITR-cache fault study with this many injections per benchmark")
 	renameFaults := flag.Int("rename", 0, "run the rename-protection study with this many injections per benchmark")
 	jsonPath := flag.String("json", "", "also write the Figure 8 campaign results to this JSON file")
+	workers := flag.Int("workers", 0, "injection worker-pool width per campaign (0 = GOMAXPROCS); results are identical at any width")
 	flag.Parse()
+	// Parallelism lives in the per-injection campaign pool; keep the
+	// benchmark-level report pool serial so the two do not multiply.
+	report.SetWorkers(1)
 
 	cfg := fault.DefaultCampaignConfig()
 	cfg.Faults = *faults
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 	cfg.Experiment.WindowCycles = *window
 	cfg.Experiment.Verify = *verify
 	cfg.Experiment.Checkpoint = *ckpt

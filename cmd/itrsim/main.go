@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"itr/internal/asm"
 	"itr/internal/fault"
@@ -43,7 +44,11 @@ func run() error {
 	noITR := flag.Bool("no-itr", false, "disable the ITR checker")
 	inject := flag.Int64("inject", 0, "inject a fault at this decode event (0 = none)")
 	bit := flag.Int("bit", 36, "signal bit to flip when injecting (0-63)")
+	workers := flag.Int("workers", 0, "bound Go runtime parallelism (0 = all cores); itrsim runs one pipeline, so this only caps GC/runtime threads")
 	flag.Parse()
+	if *workers > 0 {
+		runtime.GOMAXPROCS(*workers)
+	}
 
 	if *printSignals {
 		printTable2()

@@ -72,7 +72,18 @@ type Cache struct {
 	clock   uint64
 	repl    Replacement
 	stats   Stats
+	// index accelerates key lookup for high-associativity sets, where a
+	// linear way scan (fine in hardware, O(assoc) here) dominates simulation
+	// time. Line pointers are stable: sets are allocated once in New and
+	// never resized. nil for low associativities, where the scan is faster
+	// than a map operation.
+	index map[uint64]*Line
 }
+
+// indexedAssocMin is the associativity at which Lookup/Probe switch from a
+// linear way scan to the map index. Below it the scan's cache-friendly
+// compare loop beats a hashed map access.
+const indexedAssocMin = 32
 
 // FullyAssociative requests a single set spanning all entries.
 const FullyAssociative = 0
@@ -104,6 +115,9 @@ func New(entries, assoc int, repl Replacement) (*Cache, error) {
 	}
 	for i := range c.sets {
 		c.sets[i] = make([]Line, assoc)
+	}
+	if assoc >= indexedAssocMin {
+		c.index = make(map[uint64]*Line, entries)
 	}
 	return c, nil
 }
@@ -141,16 +155,12 @@ func (c *Cache) setIndex(key uint64) uint64 { return key & c.setMask }
 // The returned pointer stays valid until the line is evicted; callers may
 // update Value/Checked/Parity/Aux through it.
 func (c *Cache) Lookup(key uint64) (*Line, bool) {
-	set := c.sets[c.setIndex(key)]
-	for i := range set {
-		ln := &set[i]
-		if ln.Valid && ln.Key == key {
-			c.clock++
-			ln.lru = c.clock
-			ln.Referenced = true
-			c.stats.Hits++
-			return ln, true
-		}
+	if ln := c.find(key); ln != nil {
+		c.clock++
+		ln.lru = c.clock
+		ln.Referenced = true
+		c.stats.Hits++
+		return ln, true
 	}
 	c.stats.Misses++
 	return nil, false
@@ -158,14 +168,28 @@ func (c *Cache) Lookup(key uint64) (*Line, bool) {
 
 // Probe finds key without updating LRU, Referenced, or statistics.
 func (c *Cache) Probe(key uint64) (*Line, bool) {
+	if ln := c.find(key); ln != nil {
+		return ln, true
+	}
+	return nil, false
+}
+
+// find returns the valid line holding key, or nil.
+func (c *Cache) find(key uint64) *Line {
+	if c.index != nil {
+		if ln, ok := c.index[key]; ok {
+			return ln
+		}
+		return nil
+	}
 	set := c.sets[c.setIndex(key)]
 	for i := range set {
 		ln := &set[i]
 		if ln.Valid && ln.Key == key {
-			return ln, true
+			return ln
 		}
 	}
-	return nil, false
+	return nil
 }
 
 // Insert installs (key, value), evicting a victim if the set is full. It
@@ -198,8 +222,14 @@ func (c *Cache) Insert(key, value uint64) (evicted Line, wasEvicted bool) {
 		if !evicted.Referenced {
 			c.stats.EvictionsUnreferenced++
 		}
+		if c.index != nil {
+			delete(c.index, evicted.Key)
+		}
 	}
 	set[victim] = Line{Key: key, Value: value, Valid: true, lru: c.clock}
+	if c.index != nil {
+		c.index[key] = &set[victim]
+	}
 	return evicted, wasEvicted
 }
 
@@ -239,6 +269,9 @@ func (c *Cache) pickVictim(set []Line) int {
 func (c *Cache) Invalidate(key uint64) bool {
 	if ln, ok := c.Probe(key); ok {
 		*ln = Line{}
+		if c.index != nil {
+			delete(c.index, key)
+		}
 		return true
 	}
 	return false

@@ -89,16 +89,18 @@ type Detail struct {
 }
 
 // SigOracle computes fault-free trace signatures by static walk, memoizing
-// per start PC. It answers "which side of a mismatch was faulty".
+// per start PC. It answers "which side of a mismatch was faulty". The walk
+// reads the program's memoized DecodeTable, so each uncached signature costs
+// one XOR per trace instruction.
 type SigOracle struct {
-	prog *program.Program
+	tab  *program.DecodeTable
 	mu   sync.Mutex
 	memo map[uint64]uint64
 }
 
 // NewSigOracle builds an oracle for prog.
 func NewSigOracle(prog *program.Program) *SigOracle {
-	return &SigOracle{prog: prog, memo: make(map[uint64]uint64)}
+	return &SigOracle{tab: prog.DecodeTable(), memo: make(map[uint64]uint64)}
 }
 
 // TrueSig returns the fault-free signature of the static trace starting at
@@ -112,9 +114,9 @@ func (o *SigOracle) TrueSig(pc uint64) uint64 {
 	var acc sig.Accumulator
 	cur := pc
 	for {
-		d := isa.Decode(o.prog.Fetch(cur))
-		acc.AddSignals(d)
-		if d.IsBranching() || acc.Full() || d.Opcode == isa.OpHalt {
+		w := o.tab.Word(cur)
+		acc.Add(w)
+		if isa.WordIsBranching(w) || acc.Full() || isa.WordOpcode(w) == isa.OpHalt {
 			break
 		}
 		cur++
@@ -130,6 +132,7 @@ type golden struct {
 	st       *isa.ArchState
 	mem      *isa.Memory
 	prog     *program.Program
+	tab      *program.DecodeTable
 	diverged bool
 
 	snapValid    bool
@@ -142,7 +145,7 @@ type golden struct {
 
 func newGolden(prog *program.Program) *golden {
 	mem := isa.NewMemory()
-	g := &golden{st: &isa.ArchState{Mem: mem}, mem: mem, prog: prog}
+	g := &golden{st: &isa.ArchState{Mem: mem}, mem: mem, prog: prog, tab: prog.DecodeTable()}
 	g.st.PC = prog.Entry
 	return g
 }
@@ -179,7 +182,8 @@ func (g *golden) observe(pc uint64, o isa.Outcome) {
 		g.diverged = true
 		return
 	}
-	want := g.st.Step(g.prog.Fetch(pc))
+	want := g.st.Exec(g.tab.Signals(pc), pc)
+	g.st.Apply(want)
 	if !o.SameArchEffect(want) {
 		g.diverged = true
 	}

@@ -253,8 +253,9 @@ type producer struct {
 
 // CPU is the cycle-level core. Construct with New; one CPU runs one program.
 type CPU struct {
-	cfg  Config
-	prog *program.Program
+	cfg    Config
+	prog   *program.Program
+	decode *program.DecodeTable // memoized per-static-instruction signals
 
 	mem       *isa.Memory
 	committed *isa.ArchState
@@ -313,6 +314,7 @@ func New(prog *program.Program, cfg Config) (*CPU, error) {
 	c := &CPU{
 		cfg:        cfg,
 		prog:       prog,
+		decode:     prog.DecodeTable(),
 		mem:        isa.NewMemory(),
 		pred:       NewPredictor(cfg.BTBEntries, cfg.BTBAssoc, cfg.GshareBits),
 		rob:        make([]uop, cfg.ROBSize),
@@ -765,8 +767,12 @@ func (c *CPU) dispatchStage() {
 		fi := c.fetchQ[0]
 		c.fetchQ = c.fetchQ[1:]
 
+		// The memoized table supplies the fault-free signals; the fault hook
+		// then corrupts this dynamic instance's private copy, so injection at
+		// the chosen decode event works exactly as with a live decoder while
+		// the table stays clean.
 		c.decodeEvents++
-		d := isa.Decode(c.prog.Fetch(fi.pc))
+		d := c.decode.Signals(fi.pc)
 		if c.faultHook != nil {
 			d = c.faultHook(c.decodeEvents, fi.pc, c.wrongPathArmed, d)
 		}
@@ -777,7 +783,7 @@ func (c *CPU) dispatchStage() {
 			// faults.
 			c.decodeEvents++
 			c.redundancy.ExtraDecodes++
-			d2 := isa.Decode(c.prog.Fetch(fi.pc))
+			d2 := c.decode.Signals(fi.pc)
 			if c.faultHook != nil {
 				d2 = c.faultHook(c.decodeEvents, fi.pc, c.wrongPathArmed, d2)
 			}
@@ -786,7 +792,7 @@ func (c *CPU) dispatchStage() {
 				// Mismatch: a transient hit one copy. Recovery is a clean
 				// re-decode before anything propagates.
 				c.redundancy.Detections++
-				d = isa.Decode(c.prog.Fetch(fi.pc))
+				d = c.decode.Signals(fi.pc)
 			}
 			if c.cfg.Redundancy == RedundancyTimeRedundant {
 				// The second pass consumes a decode slot: halved frontend

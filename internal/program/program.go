@@ -10,12 +10,15 @@ package program
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"itr/internal/isa"
 )
 
 // Program is an assembled program: a flat image of instructions addressed by
-// instruction index (PC counts instructions, not bytes).
+// instruction index (PC counts instructions, not bytes). Programs are
+// immutable once constructed; do not modify Insts after the first execution
+// or DecodeTable call.
 type Program struct {
 	Name  string
 	Insts []isa.Instruction
@@ -23,6 +26,23 @@ type Program struct {
 	// DataBase is the lowest data address the program's initialization
 	// assumes; purely informational.
 	DataBase uint64
+
+	// table is the lazily built, atomically published decode memoization.
+	table atomic.Pointer[DecodeTable]
+}
+
+// DecodeTable returns the program's memoized per-static-instruction decode
+// table, building it on first use. Build pre-warms it, so programs from the
+// builder or the assembler pay nothing here; directly constructed Programs
+// build it lazily. Safe for concurrent use.
+func (p *Program) DecodeTable() *DecodeTable {
+	if t := p.table.Load(); t != nil {
+		return t
+	}
+	// Two goroutines may race to build; both produce identical tables and
+	// CompareAndSwap keeps the first, so every caller sees one winner.
+	p.table.CompareAndSwap(nil, newDecodeTable(p.Insts))
+	return p.table.Load()
 }
 
 // Len returns the number of static instructions in the image.
@@ -166,6 +186,9 @@ func (b *Builder) Build() (*Program, error) {
 	if err := Verify(p); err != nil {
 		return nil, err
 	}
+	// Pre-warm the decode memoization: one decode per static instruction
+	// here saves two per dynamic instruction in every simulator hot loop.
+	p.DecodeTable()
 	return p, nil
 }
 
@@ -207,14 +230,17 @@ func Run(p *Program, limit int64, fn StepFunc) (executed int64, halted bool) {
 	return RunFrom(p, st, limit, fn)
 }
 
-// RunFrom is Run starting from an existing architectural state.
+// RunFrom is Run starting from an existing architectural state. Execution
+// reads decode signals from the program's memoized DecodeTable instead of
+// re-decoding each dynamic instruction.
 func RunFrom(p *Program, st *isa.ArchState, limit int64, fn StepFunc) (executed int64, halted bool) {
+	tab := p.DecodeTable()
 	for limit <= 0 || executed < limit {
 		pc := st.PC
-		inst := p.Fetch(pc)
-		o := st.Step(inst)
+		o := st.Exec(tab.Signals(pc), pc)
+		st.Apply(o)
 		executed++
-		if fn != nil && !fn(pc, inst, o) {
+		if fn != nil && !fn(pc, p.Fetch(pc), o) {
 			return executed, false
 		}
 		if o.Halt {

@@ -1,0 +1,77 @@
+package report
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workerCount holds the configured pool width; 0 means "use GOMAXPROCS".
+var workerCount atomic.Int32
+
+// SetWorkers sets the worker-pool width used by every report entry point
+// (sweeps, figures, tables). n <= 0 restores the default, GOMAXPROCS.
+// Output is deterministic regardless of the width: results are written into
+// index-addressed slots, so parallel runs are bit-identical to SetWorkers(1).
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	workerCount.Store(int32(n))
+}
+
+// Workers returns the effective worker-pool width.
+func Workers() int {
+	if n := int(workerCount.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEach runs fn(i) for every i in [0, n) on a pool of Workers() goroutines.
+// Work items are claimed from a shared atomic counter, so ordering of
+// *execution* is nondeterministic — callers must write results into slot i of
+// a pre-sized slice, never append. The returned error is the lowest-index
+// failure, making error selection deterministic too. With an effective width
+// of one the loop runs inline (no goroutines), which is also the fast path
+// for tiny n.
+func forEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

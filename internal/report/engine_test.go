@@ -1,0 +1,144 @@
+package report
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"itr/internal/core"
+	"itr/internal/trace"
+)
+
+// newSim builds a coverage simulator for tests, failing on config error.
+func newSim(t *testing.T) *core.CoverageSim {
+	t.Helper()
+	sim, err := core.NewCoverageSim(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+// TestReplayWarmBoundary pins the warm-up attribution rule: an event counts
+// as warm-up only when it fits entirely within the warmupInsts prefix; the
+// first straddling event and everything after it is measured.
+func TestReplayWarmBoundary(t *testing.T) {
+	events := []trace.Event{
+		{StartPC: 0, Len: 10, Sig: 1},
+		{StartPC: 100, Len: 10, Sig: 2},
+		{StartPC: 200, Len: 10, Sig: 3},
+	}
+	cases := []struct {
+		name        string
+		warmup      int64
+		wantEvents  int64
+		wantMeasure int64
+	}{
+		{"no warmup", 0, 3, 30},
+		{"warmup below first event straddles", 5, 3, 30},
+		{"boundary mid second event", 15, 2, 20},
+		{"boundary exactly after second event", 20, 1, 10},
+		{"warmup swallows all", 30, 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sim := newSim(t)
+			replayWarm(sim, events, tc.warmup)
+			res := sim.Result()
+			if res.TraceEvents != tc.wantEvents {
+				t.Errorf("warmup %d: measured %d events, want %d", tc.warmup, res.TraceEvents, tc.wantEvents)
+			}
+			if res.TotalInsts != tc.wantMeasure {
+				t.Errorf("warmup %d: measured %d insts, want %d", tc.warmup, res.TotalInsts, tc.wantMeasure)
+			}
+		})
+	}
+}
+
+// TestReplayWarmLatch verifies a short event after the boundary is crossed
+// stays measured even though it would still fit under warmupInsts.
+func TestReplayWarmLatch(t *testing.T) {
+	events := []trace.Event{
+		{StartPC: 0, Len: 10, Sig: 1},
+		{StartPC: 100, Len: 10, Sig: 2}, // straddles warmup=15: measured
+		{StartPC: 200, Len: 3, Sig: 3},  // 10+3 <= 15, but latch keeps it measured
+	}
+	sim := newSim(t)
+	replayWarm(sim, events, 15)
+	res := sim.Result()
+	if res.TraceEvents != 2 || res.TotalInsts != 13 {
+		t.Errorf("got %d events / %d insts measured, want 2 / 13", res.TraceEvents, res.TotalInsts)
+	}
+}
+
+// TestForEach covers the pool helper: full coverage of the index space at
+// serial and parallel widths, and lowest-index error selection.
+func TestForEach(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		SetWorkers(w)
+		got := make([]int, 100)
+		if err := forEach(len(got), func(i int) error {
+			got[i] = i + 1
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i+1 {
+				t.Fatalf("workers=%d: slot %d not visited", w, i)
+			}
+		}
+	}
+	SetWorkers(0)
+
+	errA, errB := errors.New("a"), errors.New("b")
+	SetWorkers(4)
+	defer SetWorkers(0)
+	err := forEach(10, func(i int) error {
+		switch i {
+		case 3:
+			return errB
+		case 7:
+			return errA
+		}
+		return nil
+	})
+	if err != errB {
+		t.Fatalf("got error %v, want lowest-index error %v", err, errB)
+	}
+}
+
+// TestSweepDeterministicAcrossWidths is the parallel-engine contract: the
+// sweep and the per-benchmark figures are bit-identical at any pool width.
+func TestSweepDeterministicAcrossWidths(t *testing.T) {
+	profiles := small(t, "bzip", "art")
+	configs := core.DesignSpace()[:6]
+
+	SetWorkers(1)
+	serialCells, err := CoverageSweepWarm(profiles, configs, testBudget, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialPop, err := PopularityFigure(profiles, 100, 500, testBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	SetWorkers(4)
+	defer SetWorkers(0)
+	parCells, err := CoverageSweepWarm(profiles, configs, testBudget, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parPop, err := PopularityFigure(profiles, 100, 500, testBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(serialCells, parCells) {
+		t.Error("sweep cells differ between workers=1 and workers=4")
+	}
+	if !reflect.DeepEqual(serialPop, parPop) {
+		t.Error("popularity series differ between workers=1 and workers=4")
+	}
+}

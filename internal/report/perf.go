@@ -31,11 +31,12 @@ type PerfRow struct {
 // PerfComparison measures IPC for each protection scheme on the cycle-level
 // core over the given cycle budget per run.
 func PerfComparison(profiles []workload.Profile, cycles int64) ([]PerfRow, error) {
-	rows := make([]PerfRow, 0, len(profiles))
-	for _, p := range profiles {
+	rows := make([]PerfRow, len(profiles))
+	err := forEach(len(profiles), func(i int) error {
+		p := profiles[i]
 		prog, err := workload.CachedProgram(p)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", p.Name, err)
+			return fmt.Errorf("%s: %w", p.Name, err)
 		}
 		row := PerfRow{Benchmark: p.Name}
 
@@ -51,18 +52,22 @@ func PerfComparison(profiles []workload.Profile, cycles int64) ([]PerfRow, error
 		}
 
 		if row.BaseIPC, err = measure(func(*pipeline.Config) {}); err != nil {
-			return nil, err
+			return err
 		}
 		if row.ITRIPC, err = measure(func(c *pipeline.Config) { c.ITREnabled = true }); err != nil {
-			return nil, err
+			return err
 		}
 		if row.DualDecodeIPC, err = measure(func(c *pipeline.Config) { c.Redundancy = pipeline.RedundancyDualDecode }); err != nil {
-			return nil, err
+			return err
 		}
 		if row.TimeRedundantIPC, err = measure(func(c *pipeline.Config) { c.Redundancy = pipeline.RedundancyTimeRedundant }); err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

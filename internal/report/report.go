@@ -43,13 +43,18 @@ func Characterization(p workload.Profile, budget int64) (*trace.Characterizer, e
 // cumulative percentage of dynamic instructions contributed by the top-k
 // static traces.
 func PopularityFigure(profiles []workload.Profile, step, limit int, budget int64) ([]stats.Series, error) {
-	series := make([]stats.Series, 0, len(profiles))
-	for _, p := range profiles {
+	series := make([]stats.Series, len(profiles))
+	err := forEach(len(profiles), func(i int) error {
+		p := profiles[i]
 		c, err := Characterization(p, budget)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", p.Name, err)
+			return fmt.Errorf("%s: %w", p.Name, err)
 		}
-		series = append(series, stats.Series{Name: p.Name, Points: c.PopularityCDF(step, limit)})
+		series[i] = stats.Series{Name: p.Name, Points: c.PopularityCDF(step, limit)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return series, nil
 }
@@ -59,17 +64,22 @@ func PopularityFigure(profiles []workload.Profile, step, limit int, budget int64
 // contributed by trace repetitions within each 500-instruction distance
 // bucket, up to 10000.
 func DistanceFigure(profiles []workload.Profile, budget int64) ([]stats.Series, error) {
-	series := make([]stats.Series, 0, len(profiles))
-	for _, p := range profiles {
+	series := make([]stats.Series, len(profiles))
+	err := forEach(len(profiles), func(i int) error {
+		p := profiles[i]
 		c, err := Characterization(p, budget)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", p.Name, err)
+			return fmt.Errorf("%s: %w", p.Name, err)
 		}
 		pts := make([]stats.Point, 0, 20)
 		for _, b := range c.DistanceBuckets(500, 10000) {
 			pts = append(pts, stats.Point{X: float64(b.UpperEdge), Y: b.CumulativePct})
 		}
-		series = append(series, stats.Series{Name: p.Name, Points: pts})
+		series[i] = stats.Series{Name: p.Name, Points: pts}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return series, nil
 }
@@ -84,18 +94,24 @@ type Table1Row struct {
 
 // Table1 measures static trace counts for every benchmark.
 func Table1(budget int64) ([]Table1Row, error) {
-	rows := make([]Table1Row, 0, 16)
-	for _, p := range workload.Suite() {
+	suite := workload.Suite()
+	rows := make([]Table1Row, len(suite))
+	err := forEach(len(suite), func(i int) error {
+		p := suite[i]
 		c, err := Characterization(p, budget)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", p.Name, err)
+			return fmt.Errorf("%s: %w", p.Name, err)
 		}
-		rows = append(rows, Table1Row{
+		rows[i] = Table1Row{
 			Benchmark: p.Name,
 			FP:        p.FP,
 			Measured:  c.StaticTraces(),
 			Paper:     p.StaticTraces,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -118,32 +134,62 @@ func CoverageSweep(profiles []workload.Profile, configs []core.Config, budget in
 // warmupInsts instructions of each stream prime the ITR cache without being
 // charged, mirroring the paper's 900M-instruction skip before its
 // 200M-instruction measurement window.
+//
+// The sweep runs on the report worker pool in two phases — event-stream
+// generation per benchmark, then one replay per (benchmark, configuration)
+// cell — with results slotted by index, so the returned cell order (suite
+// order, then config order) and every value are identical to a serial run.
 func CoverageSweepWarm(profiles []workload.Profile, configs []core.Config, budget, warmupInsts int64) ([]CoverageCell, error) {
-	cells := make([]CoverageCell, 0, len(profiles)*len(configs))
-	for _, p := range profiles {
-		prog, err := workload.CachedProgram(p)
+	streams := make([][]trace.Event, len(profiles))
+	err := forEach(len(profiles), func(pi int) error {
+		p := profiles[pi]
+		events, err := workload.CachedEvents(p, p.ScaledBudget(budget)+warmupInsts)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", p.Name, err)
+			return fmt.Errorf("%s: %w", p.Name, err)
 		}
-		events, _ := workload.EventsOf(prog, p.ScaledBudget(budget)+warmupInsts)
-		for _, cfg := range configs {
-			sim, err := core.NewCoverageSim(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("%s %s: %w", p.Name, cfg, err)
-			}
-			warmed := int64(0)
-			for _, ev := range events {
-				if warmed < warmupInsts {
-					sim.Warm(ev)
-					warmed += int64(ev.Len)
-					continue
-				}
-				sim.Access(ev)
-			}
-			cells = append(cells, CoverageCell{Benchmark: p.Name, Config: cfg, Result: sim.Result()})
+		streams[pi] = events
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	cells := make([]CoverageCell, len(profiles)*len(configs))
+	err = forEach(len(cells), func(i int) error {
+		pi, ci := i/len(configs), i%len(configs)
+		p, cfg := profiles[pi], configs[ci]
+		sim, err := core.NewCoverageSim(cfg)
+		if err != nil {
+			return fmt.Errorf("%s %s: %w", p.Name, cfg, err)
 		}
+		replayWarm(sim, streams[pi], warmupInsts)
+		cells[i] = CoverageCell{Benchmark: p.Name, Config: cfg, Result: sim.Result()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return cells, nil
+}
+
+// replayWarm drives one coverage simulator over a shared (read-only) event
+// stream. Warm-up boundary rule: a trace event is attributed to warm-up only
+// when it fits *entirely* within the warmupInsts prefix; the first event
+// straddling the boundary — and every event after it — is measured. Without
+// the latch, a short event following a long straddler could slip back under
+// the warm-up threshold and be spuriously warmed.
+func replayWarm(sim *core.CoverageSim, events []trace.Event, warmupInsts int64) {
+	warmed := int64(0)
+	warming := warmupInsts > 0
+	for _, ev := range events {
+		if warming && warmed+int64(ev.Len) <= warmupInsts {
+			sim.Warm(ev)
+			warmed += int64(ev.Len)
+			continue
+		}
+		warming = false
+		sim.Access(ev)
+	}
 }
 
 // CoverageTable renders a Figures 6/7-shaped table: one row per
@@ -235,18 +281,26 @@ type Figure8Row struct {
 
 // Figure8 runs the Section 4 fault-injection campaign over the given
 // benchmarks (the paper uses the 11 coverage benchmarks plus an average).
+// Benchmarks fan out on the report worker pool; fault.RunCampaign has its own
+// per-injection pool (cfg.Workers), so campaigns that set Workers > 1 should
+// pair it with SetWorkers(1) — or vice versa — to avoid oversubscription.
 func Figure8(profiles []workload.Profile, cfg fault.CampaignConfig) ([]Figure8Row, error) {
-	rows := make([]Figure8Row, 0, len(profiles))
-	for _, p := range profiles {
+	rows := make([]Figure8Row, len(profiles))
+	err := forEach(len(profiles), func(i int) error {
+		p := profiles[i]
 		prog, err := workload.CachedProgram(p)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", p.Name, err)
+			return fmt.Errorf("%s: %w", p.Name, err)
 		}
 		res, err := fault.RunCampaign(p.Name, prog, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", p.Name, err)
+			return fmt.Errorf("%s: %w", p.Name, err)
 		}
-		rows = append(rows, Figure8Row{Benchmark: p.Name, Result: res})
+		rows[i] = Figure8Row{Benchmark: p.Name, Result: res}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -313,16 +367,17 @@ func Figure9(profiles []workload.Profile, budget, scaleInsts int64) ([]Figure9Ro
 		return nil, err
 	}
 
-	rows := make([]Figure9Row, 0, len(profiles))
-	for _, p := range profiles {
+	rows := make([]Figure9Row, len(profiles))
+	err = forEach(len(profiles), func(i int) error {
+		p := profiles[i]
 		prog, err := workload.CachedProgram(p)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", p.Name, err)
+			return fmt.Errorf("%s: %w", p.Name, err)
 		}
 		events, executed := workload.EventsOf(prog, p.ScaledBudget(budget))
 		sim, err := core.NewCoverageSim(core.DefaultConfig())
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for _, ev := range events {
 			sim.Access(ev)
@@ -334,12 +389,16 @@ func Figure9(profiles []workload.Profile, budget, scaleInsts int64) ([]Figure9Ro
 		}
 		itrAccesses := int64(float64(res.Reads+res.Writes) * scale)
 		iAccesses := int64(float64(energy.RedundantFetchAccesses(executed)) * scale)
-		rows = append(rows, Figure9Row{
+		rows[i] = Figure9Row{
 			Benchmark:      p.Name,
 			ITRSinglePort:  energy.EnergyMJ(itrAccesses, singleNJ),
 			ITRDualPort:    energy.EnergyMJ(itrAccesses, dualNJ),
 			ICacheRedFetch: energy.EnergyMJ(iAccesses, iNJ),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

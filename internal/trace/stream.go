@@ -10,10 +10,11 @@ import (
 // final partial trace at program end). Returning false from fn stops the
 // run. It returns the number of dynamic instructions executed.
 func Stream(p *program.Program, limit int64, fn func(Event) bool) int64 {
+	tab := p.DecodeTable()
 	var former Former
 	stop := false
-	executed, _ := program.Run(p, limit, func(pc uint64, inst isa.Instruction, o isa.Outcome) bool {
-		ev, done := former.Step(pc, isa.Decode(inst))
+	executed, _ := program.Run(p, limit, func(pc uint64, _ isa.Instruction, o isa.Outcome) bool {
+		ev, done := former.StepWord(pc, tab.Word(pc))
 		if done && !fn(ev) {
 			stop = true
 			return false
@@ -46,6 +47,7 @@ func Characterize(p *program.Program, limit int64) *Characterizer {
 // structural helper used in tests. The dynamic count from Characterize is
 // the paper's metric.
 func StaticTraceCount(p *program.Program) int {
+	tab := p.DecodeTable()
 	starts := make(map[uint64]bool)
 	pending := []uint64{p.Entry}
 	for len(pending) > 0 {
@@ -61,7 +63,7 @@ func StaticTraceCount(p *program.Program) int {
 		for {
 			inst := p.Fetch(cur)
 			n++
-			d := isa.Decode(inst)
+			d := tab.Signals(cur)
 			if d.IsBranching() {
 				// Successors: fall-through trace and target trace.
 				if !d.HasFlag(isa.FlagUncond) {

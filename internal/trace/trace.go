@@ -40,13 +40,20 @@ type Former struct {
 // Step feeds one instruction (in program order). If the instruction
 // terminates a trace, the completed Event is returned with done == true.
 func (f *Former) Step(pc uint64, d isa.DecodeSignals) (ev Event, done bool) {
+	return f.StepWord(pc, d.Pack())
+}
+
+// StepWord is Step for callers that already hold the instruction's packed
+// signal word — the decode-memoization fast path (program.DecodeTable): one
+// XOR plus a flag test per dynamic instruction, no signal-vector build.
+func (f *Former) StepWord(pc uint64, w uint64) (ev Event, done bool) {
 	if !f.open {
 		f.startPC = pc
 		f.open = true
 	}
-	f.acc.AddSignals(d)
-	if d.IsBranching() || f.acc.Full() {
-		ev = Event{StartPC: f.startPC, Len: f.acc.Len(), Sig: f.acc.Value(), Branch: d.IsBranching()}
+	f.acc.Add(w)
+	if branch := isa.WordIsBranching(w); branch || f.acc.Full() {
+		ev = Event{StartPC: f.startPC, Len: f.acc.Len(), Sig: f.acc.Value(), Branch: branch}
 		f.acc.Reset()
 		f.open = false
 		return ev, true

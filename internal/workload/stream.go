@@ -39,9 +39,17 @@ func EventsOf(prog *program.Program, budget int64) ([]trace.Event, int64) {
 
 // cacheEntry memoizes built programs and event streams per benchmark so that
 // sweeps over 18 cache configurations pay for synthesis and functional
-// execution once.
+// execution once. Locking is per entry: the global map lock is held only for
+// the cheap entry lookup, never during program synthesis or functional
+// execution, so concurrent sweep workers generating *different* benchmarks
+// proceed in parallel while workers asking for the *same* benchmark block
+// until the first finishes and then reuse its result.
 type cacheEntry struct {
-	prog   *program.Program
+	buildOnce sync.Once
+	prog      *program.Program
+	err       error
+
+	mu     sync.Mutex // guards events/budget
 	events []trace.Event
 	budget int64
 }
@@ -51,36 +59,38 @@ var (
 	cached  = make(map[string]*cacheEntry)
 )
 
-// CachedProgram returns a memoized build of p.
-func CachedProgram(p Profile) (*program.Program, error) {
+// entryOf returns (creating if needed) the cache entry for a benchmark name.
+func entryOf(name string) *cacheEntry {
 	cacheMu.Lock()
 	defer cacheMu.Unlock()
-	if e, ok := cached[p.Name]; ok && e.prog != nil {
-		return e.prog, nil
-	}
-	prog, err := Build(p)
-	if err != nil {
-		return nil, err
-	}
-	e := cached[p.Name]
+	e := cached[name]
 	if e == nil {
 		e = &cacheEntry{}
-		cached[p.Name] = e
+		cached[name] = e
 	}
-	e.prog = prog
-	return prog, nil
+	return e
+}
+
+// CachedProgram returns a memoized build of p. Safe for concurrent use; the
+// returned Program is immutable after construction and may be shared freely.
+func CachedProgram(p Profile) (*program.Program, error) {
+	e := entryOf(p.Name)
+	e.buildOnce.Do(func() { e.prog, e.err = Build(p) })
+	return e.prog, e.err
 }
 
 // CachedEvents returns a memoized trace-event stream for p at the given
-// budget. Streams cached at a different budget are regenerated.
+// budget. Streams cached at a different budget are regenerated. Safe for
+// concurrent use; callers must treat the returned slice as read-only — it is
+// shared by every caller at the same budget.
 func CachedEvents(p Profile, budget int64) ([]trace.Event, error) {
 	prog, err := CachedProgram(p)
 	if err != nil {
 		return nil, err
 	}
-	cacheMu.Lock()
-	defer cacheMu.Unlock()
-	e := cached[p.Name]
+	e := entryOf(p.Name)
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.events == nil || e.budget != budget {
 		e.events, _ = EventsOf(prog, budget)
 		e.budget = budget

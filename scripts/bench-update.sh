@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Promote the last reviewed benchmark run to the regression baseline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ ! -f benchmarks/latest.txt ]; then
+    echo "bench-update.sh: no benchmarks/latest.txt — run scripts/bench.sh first" >&2
+    exit 1
+fi
+cp benchmarks/latest.txt benchmarks/baseline.txt
+echo "bench-update.sh: promoted benchmarks/latest.txt -> benchmarks/baseline.txt"

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Run the performance-regression benchmark set and compare against the
+# promoted baseline.
+#
+#   scripts/bench.sh                 # run, write benchmarks/latest.txt, compare
+#   BENCH_PATTERN='BenchmarkDecode' scripts/bench.sh   # subset
+#   BENCH_TIME=5x BENCH_COUNT=3 scripts/bench.sh       # more samples
+#   BENCH_MAX_REGRESSION_PCT=10 scripts/bench.sh       # looser gate
+#
+# Exits non-zero when any benchmark's ns/op regresses more than
+# BENCH_MAX_REGRESSION_PCT (default 5) past benchmarks/baseline.txt. Promote
+# a reviewed latest.txt with scripts/bench-update.sh.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PATTERN="${BENCH_PATTERN:-BenchmarkDecodeFull|BenchmarkDecodeMemoized|BenchmarkTraceStream|BenchmarkCoverageSweepSerial|BenchmarkCoverageSweepParallel|BenchmarkSignatureAccumulate|BenchmarkITRCacheAccess|BenchmarkCoverageReplay}"
+TIME="${BENCH_TIME:-1s}"
+COUNT="${BENCH_COUNT:-3}"
+MAX="${BENCH_MAX_REGRESSION_PCT:-5}"
+
+mkdir -p benchmarks
+go test -run '^$' -bench "$PATTERN" -benchtime "$TIME" -count "$COUNT" . | tee benchmarks/latest.txt
+
+if [ ! -f benchmarks/baseline.txt ]; then
+    echo "bench.sh: no benchmarks/baseline.txt — skipping comparison (run scripts/bench-update.sh to promote)"
+    exit 0
+fi
+
+# Compare the best (minimum) ns/op per benchmark across the -count samples
+# in each file: min-of-N is far less noisy than any single sample, which
+# matters for sub-nanosecond loop bodies.
+awk -v max="$MAX" '
+    # Normalize "BenchmarkName-8" to "BenchmarkName" so baselines transfer
+    # across machines with different GOMAXPROCS.
+    function name(s) { sub(/-[0-9]+$/, "", s); return s }
+    FNR == NR {
+        if ($1 ~ /^Benchmark/) {
+            n = name($1)
+            if (!(n in base) || $3 + 0 < base[n]) base[n] = $3 + 0
+        }
+        next
+    }
+    $1 ~ /^Benchmark/ {
+        n = name($1)
+        if (!(n in cur)) order[++nn] = n
+        if (!(n in cur) || $3 + 0 < cur[n]) cur[n] = $3 + 0
+    }
+    END {
+        for (i = 1; i <= nn; i++) {
+            n = order[i]
+            if (!(n in base)) continue
+            b = base[n]
+            pct = b > 0 ? 100 * (cur[n] - b) / b : 0
+            printf "%-36s baseline %14.1f ns/op   latest %14.1f ns/op   %+7.2f%%\n", n, b, cur[n], pct
+            # Loop bodies under ~2ns are below timer resolution; report them
+            # but do not gate on their percentage noise.
+            if (b < 2) continue
+            if (pct > max) { bad = 1; printf "REGRESSION: %s is %.2f%% slower (limit %s%%)\n", n, pct, max }
+        }
+        exit bad
+    }
+' benchmarks/baseline.txt benchmarks/latest.txt
