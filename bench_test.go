@@ -195,6 +195,43 @@ func BenchmarkFigure8(b *testing.B) {
 	}
 }
 
+// figure8CampaignBench runs a small single-benchmark Figure 8 campaign at
+// the given snapshot interval with a serial worker pool, isolating the
+// per-injection simulation cost from parallelism.
+func figure8CampaignBench(b *testing.B, interval int64) {
+	prof, err := workload.ByName("art")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := workload.CachedProgram(prof)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := fault.DefaultCampaignConfig()
+	cfg.Faults = 12
+	cfg.Workers = 1
+	cfg.Experiment.WindowCycles = 50_000
+	cfg.Experiment.SnapshotInterval = interval
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := fault.RunCampaign("bench", prog, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.DetectedPct(), "itr-detected-%")
+	}
+}
+
+// BenchmarkFigure8Campaign measures the fault campaign on the snapshot
+// fast path (default interval): injections resume from pilot snapshots and
+// compare against the precomputed golden stream.
+func BenchmarkFigure8Campaign(b *testing.B) { figure8CampaignBench(b, 0) }
+
+// BenchmarkFigure8CampaignCold is the same campaign with snapshots disabled
+// — the pre-snapshot cold path, kept as the speedup reference. Results are
+// bit-identical to the fast path.
+func BenchmarkFigure8CampaignCold(b *testing.B) { figure8CampaignBench(b, -1) }
+
 // BenchmarkFigure9 regenerates Figure 9: ITR cache vs redundant I-cache
 // fetch energy, scaled to the paper's 200M-instruction windows.
 func BenchmarkFigure9(b *testing.B) {

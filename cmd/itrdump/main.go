@@ -18,6 +18,7 @@ import (
 
 	"itr/internal/fault"
 	"itr/internal/isa"
+	"itr/internal/report"
 	"itr/internal/stats"
 	"itr/internal/trace"
 	"itr/internal/workload"
@@ -37,7 +38,9 @@ func run() error {
 	n := flag.Int("n", 32, "instructions to disassemble")
 	traces := flag.Bool("traces", false, "print the static trace table (dynamic, with signatures)")
 	budget := flag.Int64("budget", 1_000_000, "instruction budget for dynamic trace discovery")
+	workers := flag.Int("workers", 0, "report worker-pool width (0 = GOMAXPROCS); results are identical at any width")
 	flag.Parse()
+	report.SetWorkers(*workers)
 
 	prof, err := workload.ByName(*bench)
 	if err != nil {

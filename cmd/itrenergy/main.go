@@ -38,7 +38,9 @@ func run() error {
 	baselines := flag.Bool("baselines", false, "print the full approach comparison per benchmark")
 	perf := flag.Bool("perf", false, "measure IPC for each protection scheme on the cycle-level core")
 	perfCycles := flag.Int64("perf-cycles", 300_000, "cycle budget per perf measurement")
+	workers := flag.Int("workers", 0, "benchmark worker-pool width (0 = GOMAXPROCS); results are identical at any width")
 	flag.Parse()
+	report.SetWorkers(*workers)
 
 	singleNJ, _ := energy.AccessEnergyNJ(energy.ITRCacheSinglePort)
 	dualNJ, _ := energy.AccessEnergyNJ(energy.ITRCacheDualPort)

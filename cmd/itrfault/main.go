@@ -46,6 +46,7 @@ func run() error {
 	renameFaults := flag.Int("rename", 0, "run the rename-protection study with this many injections per benchmark")
 	jsonPath := flag.String("json", "", "also write the Figure 8 campaign results to this JSON file")
 	workers := flag.Int("workers", 0, "injection worker-pool width per campaign (0 = GOMAXPROCS); results are identical at any width")
+	snapInterval := flag.Int64("snapshot-interval", 0, "decode events between pilot snapshots for campaign fast-forward (0 = default 8192, negative = disabled); results are identical either way")
 	flag.Parse()
 	// Parallelism lives in the per-injection campaign pool; keep the
 	// benchmark-level report pool serial so the two do not multiply.
@@ -58,6 +59,7 @@ func run() error {
 	cfg.Experiment.WindowCycles = *window
 	cfg.Experiment.Verify = *verify
 	cfg.Experiment.Checkpoint = *ckpt
+	cfg.Experiment.SnapshotInterval = *snapInterval
 
 	profiles := workload.CoverageSuite()
 	if *bench != "" {
@@ -90,6 +92,15 @@ func run() error {
 		}
 	}
 	fmt.Printf("(%d campaigns in %v)\n", len(rows), time.Since(start).Round(time.Millisecond))
+	snaps, pages := 0, 0
+	for _, r := range rows {
+		snaps += r.Result.Snapshots
+		pages += r.Result.SnapshotPages
+	}
+	if snaps > 0 {
+		fmt.Printf("(snapshot fast-forward: %d pilot snapshots retained, %d memory pages ≈ %.1f MiB)\n",
+			snaps, pages, float64(pages)*4096/(1<<20))
+	}
 	fmt.Println("(paper averages: 95.4% ITR-detected; ITR+Mask 59.4%, ITR+SDC+R 32%, ITR+wdog+R 3%,")
 	fmt.Println(" ITR+SDC+D 1%, Undet+SDC 2.6%, Undet+Mask 1.8%, spc+SDC 0.1%, Undet+wdog 0.1%)")
 

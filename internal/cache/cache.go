@@ -263,6 +263,45 @@ func (c *Cache) pickVictim(set []Line) int {
 	}
 }
 
+// Clone returns a deep copy of the cache: contents, LRU ordering, and
+// statistics. The clone shares nothing with the original, so snapshot layers
+// can retain it while the original keeps running.
+func (c *Cache) Clone() *Cache {
+	n := MustNew(c.Entries(), c.assoc, c.repl)
+	if err := n.CopyFrom(c); err != nil {
+		panic(err) // unreachable: geometry matches by construction
+	}
+	return n
+}
+
+// CopyFrom overwrites the cache's entire state (contents, LRU ordering,
+// statistics) with a deep copy of src, preserving c's identity so existing
+// references stay valid. The two caches must have identical geometry and
+// replacement policy. src is only read, so one source may be restored into
+// any number of caches concurrently.
+func (c *Cache) CopyFrom(src *Cache) error {
+	if c.assoc != src.assoc || c.numSets != src.numSets || c.repl != src.repl {
+		return fmt.Errorf("cache: cannot copy %d-set/%d-way/repl-%d state into %d-set/%d-way/repl-%d cache",
+			src.numSets, src.assoc, src.repl, c.numSets, c.assoc, c.repl)
+	}
+	for i := range c.sets {
+		copy(c.sets[i], src.sets[i])
+	}
+	c.clock = src.clock
+	c.stats = src.stats
+	if c.index != nil {
+		clear(c.index)
+		for _, set := range c.sets {
+			for i := range set {
+				if set[i].Valid {
+					c.index[set[i].Key] = &set[i]
+				}
+			}
+		}
+	}
+	return nil
+}
+
 // Invalidate removes key if present, returning whether it was resident.
 // Invalidations do not count as evictions in the statistics (they model
 // recovery actions such as discarding a parity-faulty ITR line, Section 2.4).

@@ -139,3 +139,53 @@ func (m *Manager) Invalidate() {
 	m.undo = m.undo[:0]
 	m.seen = make(map[uint64]bool)
 }
+
+// State is a deep, immutable capture of a Manager's mutable state (the active
+// checkpoint, undo log, and counters). It shares nothing with the manager, so
+// one state may be restored into many managers concurrently.
+type State struct {
+	valid  bool
+	regs   [isa.NumRegs]uint64
+	fregs  [isa.NumRegs]uint64
+	pc     uint64
+	seen   map[uint64]bool
+	undo   []wordWrite
+	commit int64
+	stats  Stats
+}
+
+// CaptureState snapshots the manager's mutable state. The state/memory
+// bindings are identity, not state, and are not captured.
+func (m *Manager) CaptureState() *State {
+	s := &State{
+		valid:  m.valid,
+		regs:   m.regs,
+		fregs:  m.fregs,
+		pc:     m.pc,
+		seen:   make(map[uint64]bool, len(m.seen)),
+		undo:   make([]wordWrite, len(m.undo)),
+		commit: m.commit,
+		stats:  m.stats,
+	}
+	for k, v := range m.seen {
+		s.seen[k] = v
+	}
+	copy(s.undo, m.undo)
+	return s
+}
+
+// RestoreState overwrites the manager's mutable state with a deep copy of s,
+// preserving the manager's identity and its state/memory bindings.
+func (m *Manager) RestoreState(s *State) {
+	m.valid = s.valid
+	m.regs = s.regs
+	m.fregs = s.fregs
+	m.pc = s.pc
+	m.seen = make(map[uint64]bool, len(s.seen))
+	for k, v := range s.seen {
+		m.seen[k] = v
+	}
+	m.undo = append(m.undo[:0], s.undo...)
+	m.commit = s.commit
+	m.stats = s.stats
+}

@@ -105,3 +105,22 @@ func (r *ROB) Clear() { r.head, r.tail = 0, 0 }
 func (r *ROB) String() string {
 	return fmt.Sprintf("itr-rob[%d/%d head=%d]", r.Len(), len(r.entries), r.head)
 }
+
+// Clone returns a deep copy of the ROB (entries, head, tail) sharing nothing
+// with the original.
+func (r *ROB) Clone() *ROB {
+	c := &ROB{entries: make([]ROBEntry, len(r.entries)), head: r.head, tail: r.tail}
+	copy(c.entries, r.entries)
+	return c
+}
+
+// CopyFrom overwrites the ROB's state with a deep copy of src, preserving
+// r's identity. The capacities must match. src is only read.
+func (r *ROB) CopyFrom(src *ROB) error {
+	if len(r.entries) != len(src.entries) {
+		return fmt.Errorf("itr-rob: cannot copy %d-entry state into %d-entry ROB", len(src.entries), len(r.entries))
+	}
+	copy(r.entries, src.entries)
+	r.head, r.tail = src.head, src.tail
+	return nil
+}

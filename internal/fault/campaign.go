@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"itr/internal/core"
 	"itr/internal/isa"
 	"itr/internal/pipeline"
 	"itr/internal/program"
@@ -48,7 +49,13 @@ type CampaignResult struct {
 	// CheckpointRecovered counts detection-only faults (the ITR+SDC+D
 	// class) that the checkpointing extension converted into rollbacks.
 	CheckpointRecovered int
-	Details             []Detail
+	// Snapshots is the number of pilot snapshots retained for fast-forward
+	// (after pruning to the ones some injection actually resumes from);
+	// SnapshotPages is their total memory-image size in pages, the dominant
+	// memory cost of the fast path. Both are zero on the cold path.
+	Snapshots     int
+	SnapshotPages int
+	Details       []Detail
 }
 
 // Pct returns the percentage of injections in category c.
@@ -83,16 +90,41 @@ func RunCampaign(name string, prog *program.Program, cfg CampaignConfig) (Campai
 		return res, fmt.Errorf("campaign: non-positive fault count %d", cfg.Faults)
 	}
 
-	// Profile the decode-event space once, fault-free.
+	// Pilot run: profile the decode-event space once, fault-free, dropping a
+	// resumable snapshot every SnapshotInterval decode events. The pilot uses
+	// the observe run's exact configuration (mode aside, which Restore
+	// ignores) so its snapshots restore into every injection run. A fault-
+	// free machine's trajectory is mode-independent — the checker modes
+	// differ only in how detections are handled — so the decode-event space
+	// matches what any injection run sees up to its fault point.
+	window := cfg.Experiment.WindowCycles
+	interval := cfg.Experiment.SnapshotInterval
+	if interval == 0 {
+		interval = DefaultSnapshotInterval
+	}
 	pcfg := cfg.Experiment.Pipeline
 	pcfg.ITREnabled = true
 	pcfg.ITR = cfg.Experiment.ITR
-	profCPU, err := pipeline.New(prog, pcfg)
+	pcfg.ITRMode = core.ModeObserve
+	pilot, err := pipeline.New(prog, pcfg)
 	if err != nil {
-		return res, fmt.Errorf("campaign profile: %w", err)
+		return res, fmt.Errorf("campaign pilot: %w", err)
 	}
-	profCPU.Run(cfg.Experiment.WindowCycles)
-	decodeSpace := profCPU.DecodeEvents()
+	var snaps []*pipeline.Snapshot
+	if interval > 0 {
+		next := interval
+		for pilot.CycleCount() < window {
+			pres := pilot.RunUntilDecode(window-pilot.CycleCount(), next)
+			if pres.Termination != pipeline.TermBudget || pilot.CycleCount() >= window {
+				break // machine terminated or window exhausted: pilot done
+			}
+			snaps = append(snaps, pilot.Snapshot())
+			next = pilot.DecodeEvents() + interval
+		}
+	} else {
+		pilot.Run(window)
+	}
+	decodeSpace := pilot.DecodeEvents()
 	if decodeSpace < 100 {
 		return res, fmt.Errorf("campaign: window too small (%d decode events)", decodeSpace)
 	}
@@ -108,6 +140,36 @@ func RunCampaign(name string, prog *program.Program, cfg CampaignConfig) (Campai
 		injections[i] = Injection{
 			DecodeIndex: lo + int64(rng.Uint64n(uint64(hi-lo))),
 			Bit:         rng.Intn(isa.SignalBits),
+		}
+	}
+
+	// Keep only the snapshots some injection actually resumes from, and
+	// precompute the shared golden commit log covering the pilot's window so
+	// workers rarely contend on extending it.
+	var rc *replayContext
+	if len(snaps) > 0 {
+		used := make([]bool, len(snaps))
+		for _, inj := range injections {
+			if i := nearestSnapshotIdx(snaps, inj.DecodeIndex); i >= 0 {
+				used[i] = true
+			}
+		}
+		kept := make([]*pipeline.Snapshot, 0, len(snaps))
+		for i, s := range snaps {
+			if used[i] {
+				kept = append(kept, s)
+			}
+		}
+		if len(kept) > 0 {
+			stream := NewGoldenStream(prog)
+			if n := pilot.CommittedInsts(); n > 0 {
+				stream.ensure(int(n) - 1)
+			}
+			rc = &replayContext{snaps: kept, stream: stream}
+			res.Snapshots = len(kept)
+			for _, s := range kept {
+				res.SnapshotPages += s.MemPages()
+			}
 		}
 	}
 
@@ -129,7 +191,7 @@ func RunCampaign(name string, prog *program.Program, cfg CampaignConfig) (Campai
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				details[i], errs[i] = RunOne(prog, oracle, cfg.Experiment, injections[i])
+				details[i], errs[i] = runOne(prog, oracle, cfg.Experiment, injections[i], rc)
 			}
 		}()
 	}

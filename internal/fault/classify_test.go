@@ -1,0 +1,80 @@
+package fault
+
+import "testing"
+
+// TestClassifyAllCategories drives classify through each of the ten Figure 8
+// categories and the precedence corners between them: ITR detection wins
+// over everything, a resident faulty signature (MayITR) wins over the
+// sequential-PC check, and spc only names a category when the fault was a
+// real SDC.
+func TestClassifyAllCategories(t *testing.T) {
+	cases := []struct {
+		name string
+		d    Detail
+		want Category
+	}{
+		// --- the ten categories, plain ---
+		{"detected+deadlock", Detail{Detected: true, Deadlock: true}, ITRWdogR},
+		{"detected+sdc+recoverable", Detail{Detected: true, NaturalSDC: true, Recoverable: true}, ITRSDCR},
+		{"detected+sdc+unrecoverable", Detail{Detected: true, NaturalSDC: true}, ITRSDCD},
+		{"detected+masked", Detail{Detected: true}, ITRMask},
+		{"resident+sdc", Detail{FaultyResident: true, NaturalSDC: true}, MayITRSDC},
+		{"resident+masked", Detail{FaultyResident: true}, MayITRMask},
+		{"spc+sdc", Detail{SpcFired: true, NaturalSDC: true}, SpcSDC},
+		{"undetected+sdc", Detail{NaturalSDC: true}, UndetSDC},
+		{"undetected+deadlock", Detail{Deadlock: true}, UndetWdog},
+		{"undetected+masked", Detail{}, UndetMask},
+
+		// --- precedence corners ---
+		// Detection beats a resident faulty signature: the fault was caught
+		// through the ITR cache, the leftover line is incidental.
+		{"detected-beats-resident",
+			Detail{Detected: true, NaturalSDC: true, FaultyResident: true}, ITRSDCD},
+		{"detected-beats-resident-masked",
+			Detail{Detected: true, FaultyResident: true}, ITRMask},
+		// Deadlock beats the SDC split once detected: ITR+wdog+R regardless
+		// of whether state also corrupted before the hang.
+		{"detected-deadlock-beats-sdc",
+			Detail{Detected: true, Deadlock: true, NaturalSDC: true, Recoverable: true}, ITRWdogR},
+		// A resident faulty signature beats the sequential-PC check: the
+		// fault is still detectable on the trace's next instance.
+		{"resident-beats-spc",
+			Detail{FaultyResident: true, SpcFired: true, NaturalSDC: true}, MayITRSDC},
+		// spc without a real SDC names no category: a masked fault that
+		// tripped the PC chain is still masked.
+		{"spc-without-sdc-is-masked", Detail{SpcFired: true}, UndetMask},
+		{"spc-with-deadlock-is-wdog", Detail{SpcFired: true, Deadlock: true}, UndetWdog},
+		// Recoverable only matters under detection+SDC.
+		{"recoverable-without-detection",
+			Detail{NaturalSDC: true, Recoverable: true}, UndetSDC},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := classify(c.d); got != c.want {
+				t.Fatalf("classify(%+v) = %s, want %s", c.d, got, c.want)
+			}
+		})
+	}
+}
+
+// TestClassifyCoversLegend: every category the classifier can emit is one of
+// the ten legend entries.
+func TestClassifyCoversLegend(t *testing.T) {
+	legend := make(map[Category]bool)
+	for _, c := range Categories() {
+		legend[c] = true
+	}
+	for mask := 0; mask < 1<<6; mask++ {
+		d := Detail{
+			Detected:       mask&1 != 0,
+			Recoverable:    mask&2 != 0,
+			NaturalSDC:     mask&4 != 0,
+			Deadlock:       mask&8 != 0,
+			SpcFired:       mask&16 != 0,
+			FaultyResident: mask&32 != 0,
+		}
+		if got := classify(d); !legend[got] {
+			t.Fatalf("classify(%+v) = %q, not a Figure 8 category", d, got)
+		}
+	}
+}

@@ -189,6 +189,12 @@ func (g *golden) observe(pc uint64, o isa.Outcome) {
 	}
 }
 
+// DefaultSnapshotInterval is the decode-event spacing of pilot snapshots
+// when Config.SnapshotInterval is zero. Smaller intervals skip more of the
+// fault-free prefix per injection at the cost of more pilot snapshots held
+// in memory (one deep machine image each).
+const DefaultSnapshotInterval = 8192
+
 // Config parameterizes a single-injection experiment.
 type Config struct {
 	ITR          core.Config
@@ -199,6 +205,14 @@ type Config struct {
 	// extension in the verify run, upgrading detection-only machine checks
 	// into rollbacks when the corruption postdates the last checkpoint.
 	Checkpoint bool
+	// SnapshotInterval controls the campaign's snapshot fast-forward: the
+	// fault-free pilot drops a resumable machine snapshot every
+	// SnapshotInterval decode events, and each injection resumes from the
+	// nearest snapshot before its fault point instead of re-simulating the
+	// shared prefix. 0 means DefaultSnapshotInterval; negative disables the
+	// fast path entirely (every run starts cold). Results are bit-identical
+	// either way.
+	SnapshotInterval int64
 }
 
 // DefaultConfig mirrors the paper's Section 4 setup (two-way 1024-signature
@@ -213,9 +227,23 @@ func DefaultConfig() Config {
 	}
 }
 
-// RunOne performs one injection experiment and classifies it.
+// RunOne performs one injection experiment and classifies it, simulating
+// from cycle 0 (the cold path; campaigns use the snapshot fast path via
+// RunCampaign).
 func RunOne(prog *program.Program, oracle *SigOracle, cfg Config, inj Injection) (Detail, error) {
+	return runOne(prog, oracle, cfg, inj, nil)
+}
+
+// runOne performs one injection experiment and classifies it. When rc is
+// non-nil and holds a snapshot taken before the injection's decode event,
+// both the observe and verify runs fast-forward: the machine resumes from
+// the snapshot and the golden reference is a cursor over the shared
+// precomputed commit log. The resumed trajectory is bit-identical to the
+// cold one — the snapshot captures the complete machine state and the fault
+// fires strictly after it.
+func runOne(prog *program.Program, oracle *SigOracle, cfg Config, inj Injection, rc *replayContext) (Detail, error) {
 	det := Detail{Injection: inj}
+	snap := rc.nearest(inj.DecodeIndex)
 
 	// ---- observe run: natural outcome + detection facts ----
 	pcfg := cfg.Pipeline
@@ -226,12 +254,25 @@ func RunOne(prog *program.Program, oracle *SigOracle, cfg Config, inj Injection)
 	if err != nil {
 		return det, fmt.Errorf("observe run: %w", err)
 	}
-	g := newGolden(prog)
-	cpu.SetCommitObserver(g.observe)
+	budget := cfg.WindowCycles
+	var diverged func() bool
+	if snap != nil {
+		if err := cpu.Restore(snap); err != nil {
+			return det, fmt.Errorf("observe restore: %w", err)
+		}
+		cur := rc.stream.cursor(int(snap.Committed))
+		cpu.SetCommitObserver(cur.observe)
+		diverged = func() bool { return cur.diverged }
+		budget = cfg.WindowCycles - snap.Cycle
+	} else {
+		g := newGolden(prog)
+		cpu.SetCommitObserver(g.observe)
+		diverged = func() bool { return g.diverged }
+	}
 	cpu.SetFaultHook(hook(inj))
-	res := cpu.Run(cfg.WindowCycles)
+	res := cpu.Run(budget)
 
-	det.NaturalSDC = g.diverged
+	det.NaturalSDC = diverged()
 	det.Deadlock = res.Termination == pipeline.TermDeadlock
 	det.Halted = res.Termination == pipeline.TermHalt
 	det.SpcFired = res.SpcFired > 0
@@ -259,19 +300,35 @@ func RunOne(prog *program.Program, oracle *SigOracle, cfg Config, inj Injection)
 		if err != nil {
 			return det, fmt.Errorf("verify run: %w", err)
 		}
-		vg := newGolden(prog)
-		vcpu.SetCommitObserver(vg.observe)
-		vcpu.SetFaultHook(hook(inj))
-		if cfg.Checkpoint {
-			vcpu.SetCheckpointObserver(vg.checkpoint)
+		vbudget := cfg.WindowCycles
+		var vdiverged func() bool
+		// The fast path is invalid under checkpointing: a cold verify run
+		// takes coarse-grain checkpoints during the prefix, which the
+		// checkpoint-free pilot snapshot cannot reproduce.
+		if snap != nil && !cfg.Checkpoint {
+			if err := vcpu.Restore(snap); err != nil {
+				return det, fmt.Errorf("verify restore: %w", err)
+			}
+			vcur := rc.stream.cursor(int(snap.Committed))
+			vcpu.SetCommitObserver(vcur.observe)
+			vdiverged = func() bool { return vcur.diverged }
+			vbudget = cfg.WindowCycles - snap.Cycle
+		} else {
+			vg := newGolden(prog)
+			vcpu.SetCommitObserver(vg.observe)
+			if cfg.Checkpoint {
+				vcpu.SetCheckpointObserver(vg.checkpoint)
+			}
+			vdiverged = func() bool { return vg.diverged }
 		}
-		vres := vcpu.Run(cfg.WindowCycles)
+		vcpu.SetFaultHook(hook(inj))
+		vres := vcpu.Run(vbudget)
 		det.Verified = true
 		det.RecoveredInFull = vcpu.Checker().Stats().Recoveries > 0
 		det.MachineCheck = vres.Termination == pipeline.TermMachineCheck
-		det.SDCUnderITR = vg.diverged
+		det.SDCUnderITR = vdiverged()
 		det.CheckpointRecovered = cfg.Checkpoint && vres.CheckpointRollbacks > 0 &&
-			!det.MachineCheck && !vg.diverged
+			!det.MachineCheck && !vdiverged()
 	}
 	return det, nil
 }

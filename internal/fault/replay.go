@@ -1,0 +1,133 @@
+package fault
+
+import (
+	"sync"
+
+	"itr/internal/isa"
+	"itr/internal/pipeline"
+	"itr/internal/program"
+)
+
+// goldenEntry is one instruction of the fault-free reference execution: the
+// PC the reference was at, and the outcome it computed there.
+type goldenEntry struct {
+	pc  uint64
+	out isa.Outcome
+}
+
+// GoldenStream is the fault-free commit log computed once per benchmark and
+// shared read-only by every injection in a campaign. It replaces the
+// per-injection golden lockstep execution: instead of re-executing the
+// reference alongside each faulty run, a cursor walks this precomputed
+// stream and compares committed outcomes against it.
+//
+// The stream extends itself lazily under a mutex: a fault that delays or
+// reorders work (e.g. a latency-bit flip) can make the faulty machine commit
+// more instructions inside the window than the pilot did, so readers past
+// the precomputed prefix grow the log on demand. Extension is safe at any
+// index: the reference executes from the program's decode table, which
+// yields halt signals beyond the program image — exactly what the live
+// golden model does.
+type GoldenStream struct {
+	tab *program.DecodeTable
+
+	mu      sync.Mutex
+	st      isa.ArchState // execution frontier (guarded by mu)
+	entries []goldenEntry // append-only (guarded by mu for append/len)
+}
+
+// NewGoldenStream builds an empty stream for prog; entries are computed on
+// first use (or ahead of time via ensure).
+func NewGoldenStream(prog *program.Program) *GoldenStream {
+	s := &GoldenStream{tab: prog.DecodeTable()}
+	s.st.Mem = isa.NewMemory()
+	s.st.PC = prog.Entry
+	return s
+}
+
+// ensure grows the log so index n exists and returns the current immutable
+// prefix view. Appends only ever write array slots beyond every previously
+// returned view's length, so returned views are safe for lock-free reads.
+func (s *GoldenStream) ensure(n int) []goldenEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.entries) <= n {
+		pc := s.st.PC
+		out := s.st.Exec(s.tab.Signals(pc), pc)
+		s.st.Apply(out)
+		s.entries = append(s.entries, goldenEntry{pc: pc, out: out})
+	}
+	return s.entries[:len(s.entries):len(s.entries)]
+}
+
+// cursor returns a reader positioned at commit index start (the snapshot's
+// committed-instruction count: everything before it matched by construction).
+func (s *GoldenStream) cursor(start int) *goldenCursor {
+	return &goldenCursor{s: s, view: s.ensure(start), idx: start}
+}
+
+// goldenCursor compares one machine's commit stream against the shared
+// golden log, reproducing exactly the divergence rule of the live golden
+// model (fault.golden.observe): sticky divergence on the first PC or
+// architectural-effect mismatch.
+type goldenCursor struct {
+	s        *GoldenStream
+	view     []goldenEntry
+	idx      int
+	diverged bool
+}
+
+// observe is a pipeline.CommitObserver.
+func (c *goldenCursor) observe(pc uint64, o isa.Outcome) {
+	if c.diverged {
+		return
+	}
+	if c.idx >= len(c.view) {
+		c.view = c.s.ensure(c.idx)
+	}
+	e := c.view[c.idx]
+	if pc != e.pc {
+		c.diverged = true
+		return
+	}
+	c.idx++
+	if !o.SameArchEffect(e.out) {
+		c.diverged = true
+	}
+}
+
+// replayContext is the campaign-wide fast-forward state shared read-only
+// across the injection worker pool: the pilot's snapshots (ascending by
+// decode event) and the precomputed golden stream.
+type replayContext struct {
+	snaps  []*pipeline.Snapshot
+	stream *GoldenStream
+}
+
+// nearest returns the latest snapshot taken strictly before decode event
+// decodeIndex (so the injected event has not yet happened in it), or nil
+// when no snapshot precedes it and the run must start cold.
+func (rc *replayContext) nearest(decodeIndex int64) *pipeline.Snapshot {
+	if rc == nil {
+		return nil
+	}
+	if i := nearestSnapshotIdx(rc.snaps, decodeIndex); i >= 0 {
+		return rc.snaps[i]
+	}
+	return nil
+}
+
+// nearestSnapshotIdx returns the index of the latest snapshot with
+// DecodeEvents < decodeIndex, or -1.
+func nearestSnapshotIdx(snaps []*pipeline.Snapshot, decodeIndex int64) int {
+	lo, hi := 0, len(snaps)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if snaps[mid].DecodeEvents < decodeIndex {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - 1
+}

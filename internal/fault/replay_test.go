@@ -1,0 +1,137 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"itr/internal/pipeline"
+)
+
+// TestCampaignSnapshotFastPathBitIdentical is the tentpole's correctness
+// bar: for a fixed seed, the snapshot fast-forward campaign must produce
+// Detail slices bit-identical to the cold path — same categories, same
+// observe- and verify-run facts, for every injection — so the Figure 8
+// percentages are unchanged by the optimization.
+func TestCampaignSnapshotFastPathBitIdentical(t *testing.T) {
+	variants := []struct {
+		name     string
+		interval int64
+		ckpt     bool
+	}{
+		{"default-interval", 0, false},
+		{"fine-interval", 2_000, false},
+		{"checkpoint-verify", 2_000, true}, // verify runs must fall back cold
+	}
+	p := testProgram(t)
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			base := DefaultCampaignConfig()
+			base.Faults = 50
+			base.Workers = 4
+			base.Experiment = quickConfig()
+			base.Experiment.Checkpoint = v.ckpt
+
+			cold := base
+			cold.Experiment.SnapshotInterval = -1
+			warm := base
+			warm.Experiment.SnapshotInterval = v.interval
+
+			cres, err := RunCampaign("cold", p, cold)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wres, err := RunCampaign("warm", p, warm)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if !reflect.DeepEqual(cres.Details, wres.Details) {
+				for i := range cres.Details {
+					if cres.Details[i] != wres.Details[i] {
+						t.Fatalf("Detail %d differs:\ncold %+v\nwarm %+v",
+							i, cres.Details[i], wres.Details[i])
+					}
+				}
+				t.Fatal("Detail slices differ")
+			}
+			if !reflect.DeepEqual(cres.Counts, wres.Counts) {
+				t.Fatalf("category counts differ:\ncold %+v\nwarm %+v", cres.Counts, wres.Counts)
+			}
+			if cres.Snapshots != 0 || cres.SnapshotPages != 0 {
+				t.Fatalf("cold path reported snapshots: %d (%d pages)", cres.Snapshots, cres.SnapshotPages)
+			}
+			if wres.Snapshots == 0 || wres.SnapshotPages == 0 {
+				t.Fatalf("fast path took no snapshots: %d (%d pages)", wres.Snapshots, wres.SnapshotPages)
+			}
+		})
+	}
+}
+
+// TestGoldenStreamMatchesLiveGolden: a cursor over the precomputed stream
+// reaches the same divergence verdicts as the live lockstep golden model.
+func TestGoldenStreamMatchesLiveGolden(t *testing.T) {
+	p := testProgram(t)
+	s := NewGoldenStream(p)
+
+	// Replay the stream's own entries through both observers: no divergence.
+	g := newGolden(p)
+	cur := s.cursor(0)
+	view := s.ensure(499)
+	for _, e := range view[:500] {
+		g.observe(e.pc, e.out)
+		cur.observe(e.pc, e.out)
+	}
+	if g.diverged || cur.diverged {
+		t.Fatalf("fault-free replay diverged: live=%v cursor=%v", g.diverged, cur.diverged)
+	}
+
+	// A wrong PC diverges both, stickily.
+	g2 := newGolden(p)
+	cur2 := s.cursor(0)
+	e := view[0]
+	g2.observe(e.pc+1, e.out)
+	cur2.observe(e.pc+1, e.out)
+	if !g2.diverged || !cur2.diverged {
+		t.Fatalf("PC mismatch not flagged: live=%v cursor=%v", g2.diverged, cur2.diverged)
+	}
+
+	// A corrupted outcome diverges the cursor mid-stream.
+	cur3 := s.cursor(100)
+	bad := view[100].out
+	bad.NextPC ^= 1
+	cur3.observe(view[100].pc, bad)
+	if !cur3.diverged {
+		t.Fatal("outcome mismatch not flagged by seeked cursor")
+	}
+}
+
+// TestNearestSnapshotIdx pins the strictly-before selection rule: the chosen
+// snapshot must predate the injected decode event (equality is too late —
+// that decode already happened in the snapshot), or the run starts cold.
+func TestNearestSnapshotIdx(t *testing.T) {
+	snaps := []*pipeline.Snapshot{
+		{DecodeEvents: 100},
+		{DecodeEvents: 200},
+		{DecodeEvents: 300},
+	}
+	cases := []struct {
+		decodeIndex int64
+		want        int
+	}{
+		{50, -1},  // before every snapshot: cold
+		{100, -1}, // equality is too late
+		{101, 0},  // just past the first
+		{200, 0},  // equality with the second: first still applies
+		{250, 1},  //
+		{300, 1},  // equality with the last
+		{9999, 2}, // far past the last
+	}
+	for _, c := range cases {
+		if got := nearestSnapshotIdx(snaps, c.decodeIndex); got != c.want {
+			t.Errorf("nearestSnapshotIdx(%d) = %d, want %d", c.decodeIndex, got, c.want)
+		}
+	}
+	if got := nearestSnapshotIdx(nil, 10); got != -1 {
+		t.Fatalf("empty slice: got %d, want -1", got)
+	}
+}

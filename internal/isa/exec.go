@@ -106,6 +106,18 @@ func (m *Memory) Clone() *Memory {
 	return c
 }
 
+// CopyFrom overwrites the memory's entire contents with a deep copy of src,
+// preserving m's identity so aliases (ArchState.Mem, store overlays,
+// checkpoint managers) stay valid. src is only read; one snapshot memory may
+// be restored into any number of memories concurrently.
+func (m *Memory) CopyFrom(src *Memory) {
+	m.pages = make(map[uint64]*[pageWords]uint64, len(src.pages))
+	for id, page := range src.pages {
+		cp := *page
+		m.pages[id] = &cp
+	}
+}
+
 // ArchState is the architectural state of the machine: two 32-entry register
 // files (integer and floating point), data memory and the program counter.
 // PC counts instructions (not bytes).

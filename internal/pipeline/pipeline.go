@@ -268,15 +268,20 @@ type CPU struct {
 	ckpt          *checkpoint.Manager
 	former        trace.Former
 
-	rob              []uop
+	rob              []uop // ring storage; power-of-two length ≥ cfg.ROBSize
+	robMask          uint64
+	robCap           int // logical capacity (cfg.ROBSize)
 	robHead, robTail uint64
 	executing        []uint64
+	wbCompleted      []uint64 // writeback scratch; logically empty between cycles
 
 	prod [2][isa.NumRegs]producer
 
-	fetchQ   []fetchedInst
-	fetchPC  uint64
-	haltSeen bool
+	fq             []fetchedInst // fetch-queue ring; power-of-two length ≥ cfg.FetchQueue
+	fqMask         uint64
+	fqHead, fqTail uint64
+	fetchPC        uint64
+	haltSeen       bool
 
 	wrongPathFrom  uint64
 	wrongPathArmed bool
@@ -317,11 +322,14 @@ func New(prog *program.Program, cfg Config) (*CPU, error) {
 		decode:     prog.DecodeTable(),
 		mem:        isa.NewMemory(),
 		pred:       NewPredictor(cfg.BTBEntries, cfg.BTBAssoc, cfg.GshareBits),
-		rob:        make([]uop, cfg.ROBSize),
-		fetchQ:     make([]fetchedInst, 0, cfg.FetchQueue),
+		rob:        make([]uop, nextPow2(cfg.ROBSize)),
+		robCap:     cfg.ROBSize,
+		fq:         make([]fetchedInst, nextPow2(cfg.FetchQueue)),
 		fetchPC:    prog.Entry,
 		expectedPC: prog.Entry,
 	}
+	c.robMask = uint64(len(c.rob) - 1)
+	c.fqMask = uint64(len(c.fq) - 1)
 	c.committed = &isa.ArchState{Mem: c.mem, PC: prog.Entry}
 	c.spec = newSpecState(c.committed, c.mem)
 	if cfg.ITREnabled {
@@ -444,8 +452,17 @@ func (c *CPU) CommittedInsts() int64 { return c.committedCount }
 // terminates, returning the run summary. Run may be called repeatedly to
 // extend a run; the budget is per-call.
 func (c *CPU) Run(maxCycles int64) Result {
+	return c.RunUntilDecode(maxCycles, -1)
+}
+
+// RunUntilDecode is Run with an additional stop condition: execution pauses
+// at the first cycle boundary where the decode-event count has reached
+// stopDecode (negative disables the condition). The snapshot pilot uses it
+// to pause at snapshot intervals; the machine is left resumable, so a
+// further Run/RunUntilDecode call continues exactly where this one stopped.
+func (c *CPU) RunUntilDecode(maxCycles, stopDecode int64) Result {
 	start := c.cycle
-	for !c.terminated && c.cycle-start < maxCycles {
+	for !c.terminated && c.cycle-start < maxCycles && (stopDecode < 0 || c.decodeEvents < stopDecode) {
 		c.stepCycle()
 	}
 	term := c.termination
@@ -498,7 +515,24 @@ func (c *CPU) stepCycle() {
 
 func (c *CPU) robLen() int { return int(c.robTail - c.robHead) }
 
-func (c *CPU) at(seq uint64) *uop { return &c.rob[seq%uint64(len(c.rob))] }
+// at maps a sequence number to its ROB slot. The backing array is sized to a
+// power of two so the hot-path index is a mask, not a divide.
+func (c *CPU) at(seq uint64) *uop { return &c.rob[seq&c.robMask] }
+
+// nextPow2 returns the smallest power of two >= n (minimum 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// ---- fetch queue (ring) ----
+
+func (c *CPU) fqLen() int { return int(c.fqTail - c.fqHead) }
+
+func (c *CPU) fqReset() { c.fqTail = c.fqHead }
 
 // ---- commit ----
 
@@ -600,7 +634,7 @@ func (c *CPU) itrFlush(restartPC uint64) {
 	c.itrFlushes++
 	c.robTail = c.robHead
 	c.executing = c.executing[:0]
-	c.fetchQ = c.fetchQ[:0]
+	c.fqReset()
 	c.former.Reset()
 	c.renameSig.reset()
 	// Both checkers' in-flight windows are squashed. The checker whose
@@ -631,7 +665,7 @@ func (c *CPU) writebackStage() {
 		return
 	}
 	kept := c.executing[:0]
-	var completed []uint64
+	completed := c.wbCompleted[:0]
 	for _, seq := range c.executing {
 		if seq < c.robHead || seq >= c.robTail {
 			continue // squashed or committed
@@ -644,6 +678,7 @@ func (c *CPU) writebackStage() {
 		completed = append(completed, seq)
 	}
 	c.executing = kept
+	c.wbCompleted = completed[:0] // keep the grown backing array for next cycle
 	// Complete oldest-first so the oldest misprediction wins the redirect.
 	for i := 1; i < len(completed); i++ {
 		for j := i; j > 0 && completed[j] < completed[j-1]; j-- {
@@ -672,7 +707,7 @@ func (c *CPU) writebackStage() {
 func (c *CPU) repairMispredict(seq uint64, target uint64) {
 	c.mispredicts++
 	c.robTail = seq + 1
-	c.fetchQ = c.fetchQ[:0]
+	c.fqReset()
 	c.former.Reset()
 	c.fetchPC = target
 	c.wrongPathArmed = false
@@ -754,8 +789,8 @@ func (c *CPU) issueStage() {
 // ---- dispatch / decode ----
 
 func (c *CPU) dispatchStage() {
-	for n := 0; n < c.cfg.FetchWidth && len(c.fetchQ) > 0; n++ {
-		if c.robLen() == len(c.rob) {
+	for n := 0; n < c.cfg.FetchWidth && c.fqLen() > 0; n++ {
+		if c.robLen() == c.robCap {
 			return // ROB full
 		}
 		if c.checker != nil && c.checker.Full() {
@@ -764,8 +799,8 @@ func (c *CPU) dispatchStage() {
 		if c.renameChecker != nil && c.renameChecker.Full() {
 			return
 		}
-		fi := c.fetchQ[0]
-		c.fetchQ = c.fetchQ[1:]
+		fi := c.fq[c.fqHead&c.fqMask]
+		c.fqHead++
 
 		// The memoized table supplies the fault-free signals; the fault hook
 		// then corrupts this dynamic instance's private copy, so injection at
@@ -773,8 +808,15 @@ func (c *CPU) dispatchStage() {
 		// the table stays clean.
 		c.decodeEvents++
 		d := c.decode.Signals(fi.pc)
+		// w mirrors d in packed form. The table memoizes the fault-free
+		// packing, so the per-dispatch Pack() is only paid when a hook
+		// actually corrupts this dynamic instance's signals.
+		w := c.decode.Word(fi.pc)
 		if c.faultHook != nil {
-			d = c.faultHook(c.decodeEvents, fi.pc, c.wrongPathArmed, d)
+			if nd := c.faultHook(c.decodeEvents, fi.pc, c.wrongPathArmed, d); nd != d {
+				d = nd
+				w = d.Pack()
+			}
 		}
 		if c.cfg.Redundancy != RedundancyNone {
 			// Decode the instruction a second time (a second decoder for
@@ -793,6 +835,7 @@ func (c *CPU) dispatchStage() {
 				// re-decode before anything propagates.
 				c.redundancy.Detections++
 				d = c.decode.Signals(fi.pc)
+				w = c.decode.Word(fi.pc)
 			}
 			if c.cfg.Redundancy == RedundancyTimeRedundant {
 				// The second pass consumes a decode slot: halved frontend
@@ -801,7 +844,11 @@ func (c *CPU) dispatchStage() {
 			}
 		}
 
-		u := uop{
+		// Build the uop directly in its ROB slot; the slot is invisible
+		// until robTail advances, so nothing observes it half-built.
+		seq := c.robTail
+		u := c.at(seq)
+		*u = uop{
 			valid:       true,
 			pc:          fi.pc,
 			predNext:    fi.predNext,
@@ -829,9 +876,7 @@ func (c *CPU) dispatchStage() {
 			u.outcome = c.spec.exec(exe, fi.pc)
 		}
 
-		c.collectSources(&u)
-		seq := c.robTail
-		*c.at(seq) = u
+		c.collectSources(u)
 		c.robTail++
 
 		if u.d.NumRdst == 1 && !u.wrongPath {
@@ -846,16 +891,15 @@ func (c *CPU) dispatchStage() {
 
 		// Trace formation at decode; trace ends dispatch into the ITR ROB
 		// and access the ITR cache (Section 2.2).
-		if ev, done := c.former.Step(fi.pc, d); done {
-			cu := c.at(seq)
-			cu.traceEnd = true
+		if ev, done := c.former.StepWord(fi.pc, w); done {
+			u.traceEnd = true
 			if c.checker != nil {
-				cu.itrSeq, _ = c.checker.DispatchTrace(ev, u.wrongPath)
+				u.itrSeq, _ = c.checker.DispatchTrace(ev, u.wrongPath)
 			}
 			if c.renameChecker != nil {
 				rev := ev
 				rev.Sig = c.renameSig.takeSig()
-				cu.renameSeq, _ = c.renameChecker.DispatchTrace(rev, u.wrongPath)
+				u.renameSeq, _ = c.renameChecker.DispatchTrace(rev, u.wrongPath)
 			}
 		}
 
@@ -868,7 +912,7 @@ func (c *CPU) dispatchStage() {
 
 		if !c.wrongPathArmed && d.HasFlag(isa.FlagTrap) && d.Opcode == isa.OpHalt {
 			c.haltSeen = true
-			c.fetchQ = c.fetchQ[:0]
+			c.fqReset()
 			return
 		}
 	}
@@ -920,9 +964,10 @@ func (c *CPU) fetchStage() {
 		c.pcFaultDone = true
 		c.fetchPC ^= 1 << uint(c.pcFaultBit)
 	}
-	for n := 0; n < c.cfg.FetchWidth && len(c.fetchQ) < c.cfg.FetchQueue; n++ {
+	for n := 0; n < c.cfg.FetchWidth && c.fqLen() < c.cfg.FetchQueue; n++ {
 		next, taken := c.pred.Predict(c.fetchPC)
-		c.fetchQ = append(c.fetchQ, fetchedInst{pc: c.fetchPC, predNext: next, taken: taken})
+		c.fq[c.fqTail&c.fqMask] = fetchedInst{pc: c.fetchPC, predNext: next, taken: taken}
+		c.fqTail++
 		c.fetchPC = next
 		if taken {
 			break // fetch group ends at a predicted-taken branch

@@ -1,0 +1,249 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"itr/internal/checkpoint"
+	"itr/internal/core"
+	"itr/internal/isa"
+	"itr/internal/trace"
+)
+
+// Snapshot is a deep, immutable capture of a CPU's complete mutable state at
+// a cycle boundary: architectural state (registers + memory), the
+// microarchitectural window (ROB, fetch queue, scheduler producers,
+// speculative view), predictor tables, ITR checker and checkpoint state, and
+// every counter that feeds Result or Detail classification. Restoring a
+// snapshot into a structurally identical CPU resumes execution bit-for-bit:
+// the resumed machine's trajectory is indistinguishable from one that ran
+// from cycle 0.
+//
+// Snapshots share nothing with the CPU that produced them, so one snapshot
+// may be restored into many CPUs concurrently (the fault campaign's worker
+// pool does exactly this).
+type Snapshot struct {
+	// Cycle is the cycle count at capture.
+	Cycle int64
+	// DecodeEvents is the decode-event count at capture (the fault
+	// injector's fast-forward key).
+	DecodeEvents int64
+	// Committed is the committed-instruction count at capture (the golden
+	// stream cursor's seek position).
+	Committed int64
+
+	cfg Config // normalized capture-time config, for structural validation
+
+	mem          *isa.Memory
+	regsR, regsF [isa.NumRegs]uint64
+	pc           uint64
+
+	specR, specF [isa.NumRegs]uint64
+	overlay      map[uint64]uint64
+
+	predBTB     []btbEntry
+	predGshare  []uint8
+	predHistory uint64
+	predClock   uint64
+
+	checker       *core.CheckerState
+	renameChecker *core.CheckerState
+	renameSig     renameState
+	ckpt          *checkpoint.State
+	former        trace.Former
+
+	rob              []uop
+	robHead, robTail uint64
+	executing        []uint64
+	prod             [2][isa.NumRegs]producer
+	fetchQ           []fetchedInst
+	fetchPC          uint64
+	haltSeen         bool
+
+	wrongPathFrom  uint64
+	wrongPathArmed bool
+
+	lastCommitCycle int64
+	ckptRollbacks   int64
+	ckptDeclined    int64
+	redundancy      RedundancyStats
+	expectedPC      uint64
+	spcFired        int64
+	mispredicts     int64
+	itrFlushes      int64
+	tac             TACStats
+
+	pcFaultCycle int64
+	pcFaultBit   int
+	pcFaultDone  bool
+
+	terminated  bool
+	termination Termination
+}
+
+// MemPages returns the number of memory pages held by the snapshot (its
+// dominant memory cost; campaign footprint reporting sums this).
+func (s *Snapshot) MemPages() int { return s.mem.NumPages() }
+
+// Snapshot captures the CPU's complete mutable state. Call it only between
+// cycles (i.e. outside stepCycle — after Run/RunUntilDecode returns).
+func (c *CPU) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Cycle:        c.cycle,
+		DecodeEvents: c.decodeEvents,
+		Committed:    c.committedCount,
+
+		cfg: c.cfg,
+
+		mem:   c.mem.Clone(),
+		regsR: c.committed.R,
+		regsF: c.committed.F,
+		pc:    c.committed.PC,
+
+		specR:   c.spec.arch.R,
+		specF:   c.spec.arch.F,
+		overlay: make(map[uint64]uint64, len(c.spec.overlay.words)),
+
+		predBTB:     make([]btbEntry, len(c.pred.btb)),
+		predGshare:  make([]uint8, len(c.pred.gshare)),
+		predHistory: c.pred.history,
+		predClock:   c.pred.clock,
+
+		renameSig: c.renameSig,
+		former:    c.former,
+
+		rob:       make([]uop, len(c.rob)),
+		robHead:   c.robHead,
+		robTail:   c.robTail,
+		executing: append([]uint64(nil), c.executing...),
+		prod:      c.prod,
+		fetchQ:    make([]fetchedInst, 0, c.fqLen()),
+		fetchPC:   c.fetchPC,
+		haltSeen:  c.haltSeen,
+
+		wrongPathFrom:  c.wrongPathFrom,
+		wrongPathArmed: c.wrongPathArmed,
+
+		lastCommitCycle: c.lastCommitCycle,
+		ckptRollbacks:   c.ckptRollbacks,
+		ckptDeclined:    c.ckptDeclined,
+		redundancy:      c.redundancy,
+		expectedPC:      c.expectedPC,
+		spcFired:        c.spcFired,
+		mispredicts:     c.mispredicts,
+		itrFlushes:      c.itrFlushes,
+		tac:             c.tac,
+
+		pcFaultCycle: c.pcFaultCycle,
+		pcFaultBit:   c.pcFaultBit,
+		pcFaultDone:  c.pcFaultDone,
+
+		terminated:  c.terminated,
+		termination: c.termination,
+	}
+	for k, v := range c.spec.overlay.words {
+		s.overlay[k] = v
+	}
+	// Linearize the fetch-queue ring oldest-first.
+	for i := c.fqHead; i != c.fqTail; i++ {
+		s.fetchQ = append(s.fetchQ, c.fq[i&c.fqMask])
+	}
+	copy(s.predBTB, c.pred.btb)
+	copy(s.predGshare, c.pred.gshare)
+	copy(s.rob, c.rob)
+	if c.checker != nil {
+		s.checker = c.checker.CaptureState()
+	}
+	if c.renameChecker != nil {
+		s.renameChecker = c.renameChecker.CaptureState()
+	}
+	if c.ckpt != nil {
+		s.ckpt = c.ckpt.CaptureState()
+	}
+	return s
+}
+
+// Restore overwrites the CPU's mutable state with a deep copy of the
+// snapshot, preserving the CPU's identity: its memory, checker cache, and
+// checkpoint-manager pointers stay valid, and installed hooks/observers are
+// untouched. The CPU's configuration must structurally match the snapshot's;
+// only ITRMode may differ — mode is policy, not state, and fault-free
+// trajectories are identical across modes. The snapshot is only read, so one
+// snapshot may be restored into many CPUs concurrently.
+func (c *CPU) Restore(s *Snapshot) error {
+	want, have := s.cfg, c.cfg
+	want.ITRMode, have.ITRMode = 0, 0
+	if want != have {
+		return fmt.Errorf("pipeline: snapshot config %+v does not structurally match CPU config %+v", s.cfg, c.cfg)
+	}
+
+	c.mem.CopyFrom(s.mem)
+	c.committed.R = s.regsR
+	c.committed.F = s.regsF
+	c.committed.PC = s.pc
+
+	c.spec.arch.R = s.specR
+	c.spec.arch.F = s.specF
+	c.spec.overlay.words = make(map[uint64]uint64, len(s.overlay))
+	for k, v := range s.overlay {
+		c.spec.overlay.words[k] = v
+	}
+
+	copy(c.pred.btb, s.predBTB)
+	copy(c.pred.gshare, s.predGshare)
+	c.pred.history = s.predHistory
+	c.pred.clock = s.predClock
+
+	if c.checker != nil {
+		if err := c.checker.RestoreState(s.checker); err != nil {
+			return fmt.Errorf("pipeline: restore checker: %w", err)
+		}
+	}
+	if c.renameChecker != nil {
+		if err := c.renameChecker.RestoreState(s.renameChecker); err != nil {
+			return fmt.Errorf("pipeline: restore rename checker: %w", err)
+		}
+	}
+	if c.ckpt != nil {
+		c.ckpt.RestoreState(s.ckpt)
+	}
+	c.renameSig = s.renameSig
+	c.former = s.former
+
+	copy(c.rob, s.rob)
+	c.robHead = s.robHead
+	c.robTail = s.robTail
+	c.executing = append(c.executing[:0], s.executing...)
+	c.prod = s.prod
+	c.fqHead, c.fqTail = 0, uint64(len(s.fetchQ))
+	copy(c.fq, s.fetchQ) // len(s.fetchQ) <= cfg.FetchQueue <= len(c.fq)
+	c.fetchPC = s.fetchPC
+	c.haltSeen = s.haltSeen
+
+	c.wrongPathFrom = s.wrongPathFrom
+	c.wrongPathArmed = s.wrongPathArmed
+
+	c.cycle = s.Cycle
+	c.lastCommitCycle = s.lastCommitCycle
+	c.ckptRollbacks = s.ckptRollbacks
+	c.ckptDeclined = s.ckptDeclined
+	c.redundancy = s.redundancy
+	c.decodeEvents = s.DecodeEvents
+	c.committedCount = s.Committed
+	c.expectedPC = s.expectedPC
+	c.spcFired = s.spcFired
+	c.mispredicts = s.mispredicts
+	c.itrFlushes = s.itrFlushes
+	c.tac = s.tac
+
+	c.pcFaultCycle = s.pcFaultCycle
+	c.pcFaultBit = s.pcFaultBit
+	c.pcFaultDone = s.pcFaultDone
+
+	c.terminated = s.terminated
+	c.termination = s.termination
+	return nil
+}
+
+// CycleCount returns the cycle count so far (snapshot consumers size their
+// remaining budget with it).
+func (c *CPU) CycleCount() int64 { return c.cycle }
