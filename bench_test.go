@@ -598,17 +598,16 @@ func BenchmarkTraceStream(b *testing.B) {
 // sweepEngineBench runs the full 16-benchmark x 18-configuration design-space
 // sweep at the given worker-pool width.
 func sweepEngineBench(b *testing.B, workers int) {
-	report.SetWorkers(workers)
-	defer report.SetWorkers(0)
+	eng := &report.Engine{Workers: workers}
 	// One untimed sweep first: event streams are memoized per benchmark, so
 	// this pins the measurement to the replay engine rather than charging
 	// whichever variant runs first for one-time event generation.
-	if _, err := report.CoverageSweepWarm(workload.Suite(), core.DesignSpace(), benchBudget, 0); err != nil {
+	if _, err := eng.CoverageSweepWarm(workload.Suite(), core.DesignSpace(), benchBudget, 0); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cells, err := report.CoverageSweepWarm(workload.Suite(), core.DesignSpace(), benchBudget, 0)
+		cells, err := eng.CoverageSweepWarm(workload.Suite(), core.DesignSpace(), benchBudget, 0)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,26 @@
+// Command itr is the unified experiment CLI: every paper artifact
+// (characterization figures, coverage sweeps, fault campaigns, energy
+// comparison, single-run simulation, program inspection) is a subcommand
+// resolved through the config-driven experiment engine, and every run
+// writes a manifest with the spec, per-stage timings and telemetry.
+//
+// Usage:
+//
+//	itr char -fig 1                  # Figures 1-4 / Table 1
+//	itr coverage -headline           # Figures 6-7 / Section 3
+//	itr fault -bench art -faults 12  # Figure 8 campaigns
+//	itr energy -perf                 # Figure 9 / Section 5
+//	itr sim -bench vortex            # one run on the cycle-level core
+//	itr dump -bench bzip -dis        # program inspection
+//	itr run -spec examples/specs/fault-small.json
+package main
+
+import (
+	"os"
+
+	"itr/internal/experiment"
+)
+
+func main() {
+	os.Exit(experiment.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,126 +1,11 @@
-// Command itrchar reproduces the paper's program-repetition
-// characterization: Figures 1-2 (dynamic instructions contributed by the
-// top-k static traces), Figures 3-4 (dynamic instructions by trace repeat
-// distance) and Table 1 (static trace counts).
-//
-// Usage:
-//
-//	itrchar -fig 1            # Figure 1 (SPECint popularity CDF)
-//	itrchar -fig 4            # Figure 4 (SPECfp distance distribution)
-//	itrchar -table1           # Table 1 (measured vs paper)
-//	itrchar -budget 20000000  # raise the per-benchmark instruction budget
+// Command itrchar is a deprecated shim for `itr char` (Figures 1-4 and
+// Table 1); it forwards all flags and produces identical output.
 package main
 
 import (
-	"flag"
-	"fmt"
 	"os"
 
-	"itr/internal/report"
-	"itr/internal/stats"
-	"itr/internal/workload"
+	"itr/internal/experiment"
 )
 
-// jsonOut optionally archives regenerated figures as JSON.
-type jsonOut struct {
-	path    string
-	figures []report.FigureJSON
-}
-
-func (j *jsonOut) add(fig report.FigureJSON) {
-	if j.path != "" {
-		j.figures = append(j.figures, fig)
-	}
-}
-
-func (j *jsonOut) flush() error {
-	if j.path == "" {
-		return nil
-	}
-	f, err := os.Create(j.path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return report.WriteJSON(f, j.figures)
-}
-
-func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "itrchar:", err)
-		os.Exit(1)
-	}
-}
-
-func run() error {
-	fig := flag.Int("fig", 0, "figure to reproduce (1, 2, 3 or 4); 0 prints everything")
-	table1 := flag.Bool("table1", false, "print Table 1 (static trace counts)")
-	budget := flag.Int64("budget", workload.DefaultBudget, "dynamic-instruction budget per benchmark (scaled per profile)")
-	jsonPath := flag.String("json", "", "also write the regenerated figures to this JSON file")
-	workers := flag.Int("workers", 0, "worker-pool width for per-benchmark characterization (0 = GOMAXPROCS); results are identical at any width")
-	flag.Parse()
-	report.SetWorkers(*workers)
-
-	out := &jsonOut{path: *jsonPath}
-	all := *fig == 0 && !*table1
-
-	if *fig == 1 || all {
-		series, err := report.PopularityFigure(workload.IntSuite(), 100, 1000, *budget)
-		if err != nil {
-			return err
-		}
-		fmt.Println("Figure 1. Dynamic instructions per 100 static traces (integer benchmarks).")
-		fmt.Println("Cumulative % of dynamic instructions from the top-k static traces:")
-		fmt.Print(stats.RenderSeries("top-k", series, "%.0f"))
-		fmt.Println()
-		out.add(report.EncodeSeries("figure1", "Dynamic instructions per 100 static traces (int)", "top-k traces", "% dyn insts", series))
-	}
-	if *fig == 2 || all {
-		series, err := report.PopularityFigure(workload.FPSuite(), 50, 500, *budget)
-		if err != nil {
-			return err
-		}
-		fmt.Println("Figure 2. Dynamic instructions per 50 static traces (floating point benchmarks).")
-		fmt.Print(stats.RenderSeries("top-k", series, "%.0f"))
-		fmt.Println()
-		out.add(report.EncodeSeries("figure2", "Dynamic instructions per 50 static traces (fp)", "top-k traces", "% dyn insts", series))
-	}
-	if *fig == 3 || all {
-		series, err := report.DistanceFigure(workload.IntSuite(), *budget)
-		if err != nil {
-			return err
-		}
-		fmt.Println("Figure 3. Distance between trace repetitions (integer benchmarks).")
-		fmt.Println("Cumulative % of dynamic instructions from repetitions within distance d:")
-		fmt.Print(stats.RenderSeries("< d", series, "%.0f"))
-		fmt.Println()
-		out.add(report.EncodeSeries("figure3", "Distance between trace repetitions (int)", "< distance", "% dyn insts", series))
-	}
-	if *fig == 4 || all {
-		series, err := report.DistanceFigure(workload.FPSuite(), *budget)
-		if err != nil {
-			return err
-		}
-		fmt.Println("Figure 4. Distance between trace repetitions (floating point benchmarks).")
-		fmt.Print(stats.RenderSeries("< d", series, "%.0f"))
-		fmt.Println()
-		out.add(report.EncodeSeries("figure4", "Distance between trace repetitions (fp)", "< distance", "% dyn insts", series))
-	}
-	if *table1 || all {
-		rows, err := report.Table1(*budget)
-		if err != nil {
-			return err
-		}
-		fmt.Println("Table 1. Number of static traces for SPEC.")
-		t := stats.NewTable("benchmark", "suite", "measured", "paper")
-		for _, r := range rows {
-			suite := "SPECint"
-			if r.FP {
-				suite = "SPECfp"
-			}
-			t.AddRow(r.Benchmark, suite, r.Measured, r.Paper)
-		}
-		fmt.Print(t.String())
-	}
-	return out.flush()
-}
+func main() { os.Exit(experiment.Shim("char")) }

@@ -1,133 +1,11 @@
-// Command itrcoverage reproduces the paper's Section 3 design-space
-// exploration: loss in fault detection coverage (Figure 6) and loss in
-// fault recovery coverage (Figure 7) across ITR cache sizes {256, 512,
-// 1024} and associativities {dm, 2, 4, 8, 16, fa}, plus the Section 3
-// headline summary for the 2-way/1024 configuration.
-//
-// Usage:
-//
-//	itrcoverage                      # Figures 6 and 7 over the 11 paper benchmarks
-//	itrcoverage -metric detection    # Figure 6 only
-//	itrcoverage -headline            # Section 3's quoted avg/max numbers
-//	itrcoverage -bench vortex        # one benchmark across the whole space
-//	itrcoverage -ablation            # checked-LRU replacement + miss fallback
+// Command itrcoverage is a deprecated shim for `itr coverage` (Figures 6-7
+// coverage-loss sweeps); it forwards all flags and produces identical output.
 package main
 
 import (
-	"flag"
-	"fmt"
 	"os"
 
-	"itr/internal/cache"
-	"itr/internal/core"
-	"itr/internal/report"
-	"itr/internal/workload"
+	"itr/internal/experiment"
 )
 
-func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "itrcoverage:", err)
-		os.Exit(1)
-	}
-}
-
-func run() error {
-	metric := flag.String("metric", "both", "detection, recovery or both")
-	bench := flag.String("bench", "", "restrict to one benchmark (default: the 11 shown in Figures 6-7)")
-	headline := flag.Bool("headline", false, "print the Section 3 summary for 2-way/1024")
-	ablation := flag.Bool("ablation", false, "also evaluate checked-LRU replacement and miss fallback")
-	budget := flag.Int64("budget", workload.DefaultBudget, "dynamic-instruction budget per benchmark")
-	warmup := flag.Int64("warmup", 0, "instructions to warm the ITR cache before measurement (paper: 900M skip)")
-	jsonPath := flag.String("json", "", "also write the sweep cells to this JSON file")
-	workers := flag.Int("workers", 0, "worker-pool width for the sweep (0 = GOMAXPROCS); results are identical at any width")
-	flag.Parse()
-	report.SetWorkers(*workers)
-
-	if *headline {
-		h, err := report.HeadlineCoverage(*budget)
-		if err != nil {
-			return err
-		}
-		fmt.Println("Section 3 headline (2-way set-associative, 1024 signatures):")
-		fmt.Printf("  loss in fault detection coverage: %.1f%% average, %.1f%% max (%s)\n",
-			h.AvgDetectionLoss, h.MaxDetectionLoss, h.MaxDetectionName)
-		fmt.Printf("  loss in fault recovery  coverage: %.1f%% average, %.1f%% max (%s)\n",
-			h.AvgRecoveryLoss, h.MaxRecoveryLoss, h.MaxRecoveryName)
-		fmt.Println("  (paper: 1.3% avg / 8.2% max detection; 2.5% avg / 15% max recovery, both vortex)")
-		return nil
-	}
-
-	profiles := workload.CoverageSuite()
-	if *bench != "" {
-		p, err := workload.ByName(*bench)
-		if err != nil {
-			return err
-		}
-		profiles = []workload.Profile{p}
-	}
-
-	cells, err := report.CoverageSweepWarm(profiles, core.DesignSpace(), *budget, *warmup)
-	if err != nil {
-		return err
-	}
-	report.SortCellsByBenchmark(cells)
-
-	if *metric == "detection" || *metric == "both" {
-		fmt.Println("Figure 6. Loss in fault detection coverage (% of all dynamic instructions).")
-		fmt.Print(report.CoverageTable(cells, "detection").String())
-		fmt.Println()
-	}
-	if *metric == "recovery" || *metric == "both" {
-		fmt.Println("Figure 7. Loss in fault recovery coverage (% of all dynamic instructions).")
-		fmt.Print(report.CoverageTable(cells, "recovery").String())
-		fmt.Println()
-	}
-
-	if *ablation {
-		if err := runAblation(profiles, *budget); err != nil {
-			return err
-		}
-	}
-
-	if *jsonPath != "" {
-		f, err := os.Create(*jsonPath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := report.WriteJSON(f, report.EncodeCoverage(cells)); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// runAblation evaluates the two Section 2.3 / Section 3 extensions at the
-// headline configuration: checked-first LRU replacement and redundant
-// fetch-on-miss.
-func runAblation(profiles []workload.Profile, budget int64) error {
-	base := core.DefaultConfig()
-	checked := base
-	checked.Replacement = cache.ReplCheckedLRU
-	fallback := base
-	fallback.MissFallback = true
-
-	cells, err := report.CoverageSweep(profiles, []core.Config{base, checked, fallback}, budget)
-	if err != nil {
-		return err
-	}
-	fmt.Println("Ablation (2-way/1024): LRU vs checked-first LRU vs miss fallback.")
-	fmt.Printf("%-10s %-22s %12s %12s %14s\n", "benchmark", "variant", "det loss (%)", "rec loss (%)", "refetch insts")
-	for _, c := range cells {
-		variant := "lru"
-		switch {
-		case c.Config.Replacement == cache.ReplCheckedLRU:
-			variant = "checked-lru"
-		case c.Config.MissFallback:
-			variant = "lru+miss-fallback"
-		}
-		fmt.Printf("%-10s %-22s %12.2f %12.2f %14d\n",
-			c.Benchmark, variant, c.Result.DetectionLoss, c.Result.RecoveryLoss, c.Result.FallbackInsts)
-	}
-	return nil
-}
+func main() { os.Exit(experiment.Shim("coverage")) }

@@ -1,131 +1,11 @@
-// Command itrdump inspects a synthesized benchmark program: disassembly,
-// static trace boundaries with fault-free signatures, image statistics and
-// the instruction mix. It is the debugging companion to the simulators —
-// what objdump is to a binary.
-//
-// Usage:
-//
-//	itrdump -bench bzip                  # summary + instruction mix
-//	itrdump -bench bzip -dis -from 0 -n 40   # disassemble a range
-//	itrdump -bench gap -traces           # static trace table with signatures
+// Command itrdump is a deprecated shim for `itr dump` (program inspection);
+// it forwards all flags and produces identical output.
 package main
 
 import (
-	"flag"
-	"fmt"
 	"os"
-	"sort"
 
-	"itr/internal/fault"
-	"itr/internal/isa"
-	"itr/internal/report"
-	"itr/internal/stats"
-	"itr/internal/trace"
-	"itr/internal/workload"
+	"itr/internal/experiment"
 )
 
-func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "itrdump:", err)
-		os.Exit(1)
-	}
-}
-
-func run() error {
-	bench := flag.String("bench", "bzip", "benchmark to inspect")
-	dis := flag.Bool("dis", false, "disassemble instructions")
-	from := flag.Uint64("from", 0, "first PC to disassemble")
-	n := flag.Int("n", 32, "instructions to disassemble")
-	traces := flag.Bool("traces", false, "print the static trace table (dynamic, with signatures)")
-	budget := flag.Int64("budget", 1_000_000, "instruction budget for dynamic trace discovery")
-	workers := flag.Int("workers", 0, "report worker-pool width (0 = GOMAXPROCS); results are identical at any width")
-	flag.Parse()
-	report.SetWorkers(*workers)
-
-	prof, err := workload.ByName(*bench)
-	if err != nil {
-		return err
-	}
-	prog, err := workload.CachedProgram(prof)
-	if err != nil {
-		return err
-	}
-
-	fmt.Printf("program %s: %d static instructions, entry %d\n", prog.Name, prog.Len(), prog.Entry)
-	fmt.Printf("profile: %d static traces (Table 1), %d components, fp=%v\n",
-		prof.StaticTraces, len(prof.Components), prof.FP)
-
-	// Instruction mix.
-	mix := stats.NewCounter()
-	branches := 0
-	for _, inst := range prog.Insts {
-		mix.Inc(inst.Op.String(), 1)
-		if inst.Op.IsBranch() {
-			branches++
-		}
-	}
-	fmt.Printf("branch density: %.1f%% (%d branching instructions)\n",
-		100*float64(branches)/float64(prog.Len()), branches)
-	fmt.Println("\ninstruction mix (top 12):")
-	names := mix.Names()
-	sort.Slice(names, func(i, j int) bool { return mix.Get(names[i]) > mix.Get(names[j]) })
-	for i, name := range names {
-		if i >= 12 {
-			break
-		}
-		fmt.Printf("  %-6s %6d (%.1f%%)\n", name, mix.Get(name), mix.Pct(name))
-	}
-
-	if *dis {
-		fmt.Printf("\ndisassembly from %d:\n", *from)
-		end := *from + uint64(*n)
-		if end > uint64(prog.Len()) {
-			end = uint64(prog.Len())
-		}
-		var former trace.Former
-		for pc := *from; pc < end; pc++ {
-			inst := prog.Fetch(pc)
-			d := isa.Decode(inst)
-			marker := "  "
-			if _, done := former.Step(pc, d); done {
-				marker = " <" // trace boundary
-			}
-			fmt.Printf("%6d: %-28s%s\n", pc, inst.String(), marker)
-		}
-	}
-
-	if *traces {
-		fmt.Printf("\nstatic traces observed in %d instructions:\n", *budget)
-		oracle := fault.NewSigOracle(prog)
-		type row struct {
-			start uint64
-			count int64
-			insts int64
-		}
-		counts := make(map[uint64]*row)
-		trace.Stream(prog, *budget, func(ev trace.Event) bool {
-			r := counts[ev.StartPC]
-			if r == nil {
-				r = &row{start: ev.StartPC}
-				counts[ev.StartPC] = r
-			}
-			r.count++
-			r.insts += int64(ev.Len)
-			return true
-		})
-		rows := make([]*row, 0, len(counts))
-		for _, r := range counts {
-			rows = append(rows, r)
-		}
-		sort.Slice(rows, func(i, j int) bool { return rows[i].insts > rows[j].insts })
-		fmt.Printf("%8s %12s %14s %18s\n", "startPC", "instances", "dyn insts", "signature")
-		for i, r := range rows {
-			if i >= 25 {
-				fmt.Printf("  ... and %d more\n", len(rows)-25)
-				break
-			}
-			fmt.Printf("%8d %12d %14d %#18x\n", r.start, r.count, r.insts, oracle.TrueSig(r.start))
-		}
-	}
-	return nil
-}
+func main() { os.Exit(experiment.Shim("dump")) }

@@ -1,150 +1,12 @@
-// Command itrenergy reproduces the paper's Section 5 cost comparison:
-// Figure 9 (ITR cache energy vs redundantly fetching every instruction from
-// the I-cache) and the die-photo area argument (the ITR cache is about one
-// seventh the area of the S/390 G5 I-unit), plus the full baseline
-// comparison table.
-//
-// Usage:
-//
-//	itrenergy              # Figure 9 + area comparison
-//	itrenergy -baselines   # per-benchmark comparison of all approaches
-//	itrenergy -perf        # measured IPC cost of each protection scheme
-//	itrenergy -scale 0     # report at the measured budget instead of 200M insts
+// Command itrenergy is a deprecated shim for `itr energy` (Figure 9 and the
+// Section 5 cost comparison); it forwards all flags and produces identical
+// output.
 package main
 
 import (
-	"flag"
-	"fmt"
 	"os"
 
-	"itr/internal/baseline"
-	"itr/internal/core"
-	"itr/internal/energy"
-	"itr/internal/report"
-	"itr/internal/stats"
-	"itr/internal/workload"
+	"itr/internal/experiment"
 )
 
-func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "itrenergy:", err)
-		os.Exit(1)
-	}
-}
-
-func run() error {
-	budget := flag.Int64("budget", workload.DefaultBudget, "dynamic-instruction budget per benchmark")
-	scale := flag.Int64("scale", 200_000_000, "scale access counts to this many instructions (0 = no scaling; paper uses 200M)")
-	baselines := flag.Bool("baselines", false, "print the full approach comparison per benchmark")
-	perf := flag.Bool("perf", false, "measure IPC for each protection scheme on the cycle-level core")
-	perfCycles := flag.Int64("perf-cycles", 300_000, "cycle budget per perf measurement")
-	workers := flag.Int("workers", 0, "benchmark worker-pool width (0 = GOMAXPROCS); results are identical at any width")
-	flag.Parse()
-	report.SetWorkers(*workers)
-
-	singleNJ, _ := energy.AccessEnergyNJ(energy.ITRCacheSinglePort)
-	dualNJ, _ := energy.AccessEnergyNJ(energy.ITRCacheDualPort)
-	iNJ, _ := energy.AccessEnergyNJ(energy.Power4ICache)
-	fmt.Println("Per-access energies (calibrated CACTI-style model, 0.18 um):")
-	fmt.Printf("  I-cache (64KB dm, 128B line):        %.2f nJ (paper %.2f)\n", iNJ, energy.PaperICacheNJ)
-	fmt.Printf("  ITR cache (8KB 2-way, 1 rd/wr port): %.2f nJ (paper %.2f)\n", singleNJ, energy.PaperITRCacheNJ)
-	fmt.Printf("  ITR cache (8KB 2-way, 1rd+1wr):      %.2f nJ (paper %.2f)\n", dualNJ, energy.PaperITRCacheDualNJ)
-	fmt.Println()
-
-	rows, err := report.Figure9(workload.Suite(), *budget, *scale)
-	if err != nil {
-		return err
-	}
-	fmt.Println("Figure 9. Energy of ITR cache vs I-cache redundant fetch.")
-	if *scale > 0 {
-		fmt.Printf("(access counts scaled to %d dynamic instructions, as in the paper)\n", *scale)
-	}
-	fmt.Print(report.Figure9Table(rows).String())
-	fmt.Println()
-
-	cmp := energy.CompareAreas()
-	fmt.Println("Section 5 area comparison (IBM S/390 G5 die photo):")
-	fmt.Printf("  I-unit (fetch+decode): %.1f cm^2\n", cmp.IUnitCM2)
-	fmt.Printf("  ITR-cache-like BTB:    %.1f cm^2\n", cmp.ITRCacheCM2)
-	fmt.Printf("  ratio: %.1fx (the ITR cache is about one seventh the I-unit area)\n", cmp.Ratio)
-
-	if *baselines {
-		fmt.Println()
-		if err := printBaselines(*budget, *scale); err != nil {
-			return err
-		}
-	}
-
-	if *perf {
-		fmt.Println()
-		fmt.Println("Measured frontend-protection performance (cycle-level core):")
-		rows, err := report.PerfComparison(workload.Suite(), *perfCycles)
-		if err != nil {
-			return err
-		}
-		fmt.Print(report.PerfTable(rows).String())
-		fmt.Println("(ITR and structural duplication protect the frontend without consuming")
-		fmt.Println(" its bandwidth; conventional time redundancy pays for it in IPC.)")
-	}
-	return nil
-}
-
-func printBaselines(budget, scale int64) error {
-	fmt.Println("Approach comparison (per benchmark, headline ITR cache):")
-	t := stats.NewTable("benchmark", "approach", "det cov (%)", "rec cov (%)", "energy (mJ)", "area (cm^2)")
-	baseCfg := core.DefaultConfig()
-	fbCfg := baseCfg
-	fbCfg.MissFallback = true
-	for _, p := range workload.Suite() {
-		prog, err := workload.CachedProgram(p)
-		if err != nil {
-			return err
-		}
-		events, executed := workload.EventsOf(prog, p.ScaledBudget(budget))
-		measure := func(cfg core.Config) (core.Result, error) {
-			sim, err := core.NewCoverageSim(cfg)
-			if err != nil {
-				return core.Result{}, err
-			}
-			for _, ev := range events {
-				sim.Access(ev)
-			}
-			res := sim.Result()
-			if scale > 0 && executed > 0 {
-				f := float64(scale) / float64(executed)
-				res.Reads = int64(float64(res.Reads) * f)
-				res.Writes = int64(float64(res.Writes) * f)
-				res.FallbackInsts = int64(float64(res.FallbackInsts) * f)
-			}
-			return res, nil
-		}
-		base, err := measure(baseCfg)
-		if err != nil {
-			return err
-		}
-		fb, err := measure(fbCfg)
-		if err != nil {
-			return err
-		}
-		dyn := executed
-		if scale > 0 {
-			dyn = scale
-		}
-		for _, a := range []baseline.Approach{
-			baseline.Unprotected, baseline.StructuralDuplication,
-			baseline.TimeRedundant, baseline.ITR, baseline.ITRMissFallback,
-		} {
-			cov := base
-			if a == baseline.ITRMissFallback {
-				cov = fb
-			}
-			c, err := baseline.Compare(a, baseline.Workload{Name: p.Name, DynInsts: dyn, Coverage: cov}, energy.ITRCacheSinglePort)
-			if err != nil {
-				return err
-			}
-			t.AddRow(p.Name, c.Approach.String(), c.DetectionCoverage, c.RecoveryCoverage, c.EnergyMJ, c.AreaCM2)
-		}
-	}
-	fmt.Print(t.String())
-	return nil
-}
+func main() { os.Exit(experiment.Shim("energy")) }

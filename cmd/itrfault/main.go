@@ -1,209 +1,11 @@
-// Command itrfault reproduces the paper's Section 4 fault-injection study
-// (Figure 8): random single-bit flips on the decode signals of Table 2,
-// classified against a golden lockstep simulator into the ten outcome
-// categories, with a two-way 1024-signature ITR cache.
-//
-// Usage:
-//
-//	itrfault                         # default-scale campaign over the 11 benchmarks
-//	itrfault -faults 1000 -window 1000000   # paper-scale (slow)
-//	itrfault -bench gap -faults 200  # one benchmark
-//	itrfault -fields                 # tally injections by Table 2 field
-//	itrfault -checkpoint             # enable Section 2.3 checkpointed recovery
-//	itrfault -pc 50                  # Section 2.5 PC-fault study
-//	itrfault -cache 50               # Section 2.4 ITR-cache fault study
-//	itrfault -rename 50              # rename-unit protection study (Section 1)
+// Command itrfault is a deprecated shim for `itr fault` (Figure 8 fault
+// injection campaigns); it forwards all flags and produces identical output.
 package main
 
 import (
-	"flag"
-	"fmt"
 	"os"
-	"time"
 
-	"itr/internal/fault"
-	"itr/internal/report"
-	"itr/internal/workload"
+	"itr/internal/experiment"
 )
 
-func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "itrfault:", err)
-		os.Exit(1)
-	}
-}
-
-func run() error {
-	faults := flag.Int("faults", 100, "injections per benchmark (paper: 1000)")
-	window := flag.Int64("window", 250_000, "observation window in cycles (paper: 1,000,000)")
-	bench := flag.String("bench", "", "restrict to one benchmark")
-	seed := flag.Uint64("seed", 0x17b, "campaign seed")
-	verify := flag.Bool("verify", true, "confirm each recoverable detection with the full protocol")
-	fields := flag.Bool("fields", false, "also tally injections by Table 2 field")
-	ckpt := flag.Bool("checkpoint", false, "enable coarse-grain checkpointing in verify runs (Section 2.3 extension)")
-	pcFaults := flag.Int("pc", 0, "run a Section 2.5 PC-fault study with this many injections per benchmark")
-	cacheFaults := flag.Int("cache", 0, "run a Section 2.4 ITR-cache fault study with this many injections per benchmark")
-	renameFaults := flag.Int("rename", 0, "run the rename-protection study with this many injections per benchmark")
-	jsonPath := flag.String("json", "", "also write the Figure 8 campaign results to this JSON file")
-	workers := flag.Int("workers", 0, "injection worker-pool width per campaign (0 = GOMAXPROCS); results are identical at any width")
-	snapInterval := flag.Int64("snapshot-interval", 0, "decode events between pilot snapshots for campaign fast-forward (0 = default 8192, negative = disabled); results are identical either way")
-	flag.Parse()
-	// Parallelism lives in the per-injection campaign pool; keep the
-	// benchmark-level report pool serial so the two do not multiply.
-	report.SetWorkers(1)
-
-	cfg := fault.DefaultCampaignConfig()
-	cfg.Faults = *faults
-	cfg.Seed = *seed
-	cfg.Workers = *workers
-	cfg.Experiment.WindowCycles = *window
-	cfg.Experiment.Verify = *verify
-	cfg.Experiment.Checkpoint = *ckpt
-	cfg.Experiment.SnapshotInterval = *snapInterval
-
-	profiles := workload.CoverageSuite()
-	if *bench != "" {
-		p, err := workload.ByName(*bench)
-		if err != nil {
-			return err
-		}
-		profiles = []workload.Profile{p}
-	}
-
-	fmt.Printf("Figure 8. Fault injection results: %d faults/benchmark, %d-cycle window, ITR cache 2-way/1024.\n",
-		cfg.Faults, cfg.Experiment.WindowCycles)
-	start := time.Now()
-	rows, err := report.Figure8(profiles, cfg)
-	if err != nil {
-		return err
-	}
-	fmt.Print(report.Figure8Table(rows).String())
-	if *jsonPath != "" {
-		f, err := os.Create(*jsonPath)
-		if err != nil {
-			return err
-		}
-		if err := report.WriteJSON(f, report.EncodeCampaigns(rows)); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-	}
-	fmt.Printf("(%d campaigns in %v)\n", len(rows), time.Since(start).Round(time.Millisecond))
-	snaps, pages := 0, 0
-	for _, r := range rows {
-		snaps += r.Result.Snapshots
-		pages += r.Result.SnapshotPages
-	}
-	if snaps > 0 {
-		fmt.Printf("(snapshot fast-forward: %d pilot snapshots retained, %d memory pages ≈ %.1f MiB)\n",
-			snaps, pages, float64(pages)*4096/(1<<20))
-	}
-	fmt.Println("(paper averages: 95.4% ITR-detected; ITR+Mask 59.4%, ITR+SDC+R 32%, ITR+wdog+R 3%,")
-	fmt.Println(" ITR+SDC+D 1%, Undet+SDC 2.6%, Undet+Mask 1.8%, spc+SDC 0.1%, Undet+wdog 0.1%)")
-
-	verified, attempted := 0, 0
-	for _, r := range rows {
-		verified += r.Result.RecoveryConfirmed
-		attempted += r.Result.RecoveryAttempted
-	}
-	if attempted > 0 {
-		fmt.Printf("Recovery verification: %d/%d recoverable detections recovered by the full protocol.\n",
-			verified, attempted)
-	}
-
-	if *ckpt {
-		recovered := 0
-		for _, r := range rows {
-			recovered += r.Result.CheckpointRecovered
-		}
-		fmt.Printf("Checkpoint extension: %d detection-only faults recovered by rollback.\n", recovered)
-	}
-
-	if *fields {
-		fmt.Println("\nInjections by Table 2 field:")
-		for _, r := range rows {
-			fmt.Printf("  %-8s", r.Benchmark)
-			for field, n := range r.Result.ByField {
-				fmt.Printf(" %s:%d", field, n)
-			}
-			fmt.Println()
-		}
-	}
-
-	if *pcFaults > 0 {
-		fmt.Printf("\nSection 2.5 PC-fault study (%d injections/benchmark):\n", *pcFaults)
-		fmt.Printf("%-10s %8s %14s %6s %16s %8s %6s\n",
-			"benchmark", "itr(%)", "branch-rep(%)", "spc(%)", "undetect-sdc(%)", "mask(%)", "wdog(%)")
-		for _, p := range profiles {
-			prog, err := workload.CachedProgram(p)
-			if err != nil {
-				return err
-			}
-			res, err := fault.RunPCFaultCampaign(prog, cfg.Experiment, *pcFaults, *seed)
-			if err != nil {
-				return err
-			}
-			fmt.Printf("%-10s %8.1f %14.1f %6.1f %16.1f %8.1f %6.1f\n", p.Name,
-				res.Pct(fault.PCDetectedITR), res.Pct(fault.PCDetectedBranch),
-				res.Pct(fault.PCDetectedSpc), res.Pct(fault.PCUndetectedSDC),
-				res.Pct(fault.PCMasked), res.Pct(fault.PCDeadlock))
-		}
-	}
-
-	if *cacheFaults > 0 {
-		fmt.Printf("\nSection 2.4 ITR-cache fault study (%d injections/benchmark):\n", *cacheFaults)
-		fmt.Printf("%-10s %-10s %22s %18s %10s %5s\n",
-			"benchmark", "parity", "false-machine-check(%)", "parity-repaired(%)", "masked(%)", "sdc")
-		for _, p := range profiles {
-			prog, err := workload.CachedProgram(p)
-			if err != nil {
-				return err
-			}
-			for _, parity := range []bool{false, true} {
-				res, err := fault.RunCacheFaultCampaign(prog, cfg.Experiment, parity, *cacheFaults, *seed)
-				if err != nil {
-					return err
-				}
-				pct := func(o fault.CacheFaultOutcome) float64 {
-					if res.Total == 0 {
-						return 0
-					}
-					return 100 * float64(res.Counts[o]) / float64(res.Total)
-				}
-				fmt.Printf("%-10s %-10v %22.1f %18.1f %10.1f %5d\n", p.Name, parity,
-					pct(fault.CacheFalseMachineCheck), pct(fault.CacheParityRepaired),
-					pct(fault.CacheMasked), res.SDC)
-			}
-		}
-	}
-	if *renameFaults > 0 {
-		fmt.Printf("\nRename-unit protection study (%d injections/benchmark):\n", *renameFaults)
-		fmt.Printf("%-10s %18s %18s %14s %16s %14s\n",
-			"benchmark", "sdc w/o ext (%)", "frontend-det (%)", "ext-det (%)", "ext-recover (%)", "sdc w/ ext (%)")
-		for _, p := range profiles {
-			prog, err := workload.CachedProgram(p)
-			if err != nil {
-				return err
-			}
-			res, err := fault.RunRenameCampaign(prog, cfg.Experiment, *renameFaults, *seed)
-			if err != nil {
-				return err
-			}
-			pct := func(n int) float64 {
-				if res.Total == 0 {
-					return 0
-				}
-				return 100 * float64(n) / float64(res.Total)
-			}
-			fmt.Printf("%-10s %18.1f %18.1f %14.1f %16.1f %14.1f\n", p.Name,
-				res.SDCWithoutPct(), pct(res.FrontendDetected), res.DetectedPct(),
-				pct(res.RecoveredWithExtension), pct(res.SDCWithExtension))
-		}
-		fmt.Println("(frontend ITR is blind to pure rename-index faults; the rename-signature")
-		fmt.Println(" extension closes the gap, per the paper's Section 1 discussion of RNA)")
-	}
-	return nil
-}
+func main() { os.Exit(experiment.Shim("fault")) }

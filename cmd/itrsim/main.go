@@ -1,178 +1,12 @@
-// Command itrsim runs one benchmark on the ITR-protected cycle-level core
-// and reports pipeline and checker statistics. It also prints the Table 2
-// decode-signal specification and can demonstrate a single fault injection
-// end to end.
-//
-// Usage:
-//
-//	itrsim -bench vortex -cycles 500000    # run and report
-//	itrsim -print-signals                  # Table 2
-//	itrsim -bench gap -inject 5000 -bit 36 # one injection, full protocol
-//	itrsim -no-itr                         # baseline core without ITR
-//	itrsim -asm prog.s                     # run an assembly source file
-//	itrsim -profile my.json                # run a custom workload profile
+// Command itrsim is a deprecated shim for `itr sim` (one benchmark on the
+// ITR-protected cycle-level core); it forwards all flags and produces
+// identical output.
 package main
 
 import (
-	"flag"
-	"fmt"
 	"os"
-	"runtime"
 
-	"itr/internal/asm"
-	"itr/internal/fault"
-	"itr/internal/isa"
-	"itr/internal/pipeline"
-	"itr/internal/program"
-	"itr/internal/stats"
-	"itr/internal/workload"
+	"itr/internal/experiment"
 )
 
-func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "itrsim:", err)
-		os.Exit(1)
-	}
-}
-
-func run() error {
-	bench := flag.String("bench", "bzip", "benchmark to run")
-	asmFile := flag.String("asm", "", "run this assembly source file instead of a benchmark")
-	profileFile := flag.String("profile", "", "run a custom workload profile (JSON) instead of a benchmark")
-	cycles := flag.Int64("cycles", 500_000, "cycle budget")
-	printSignals := flag.Bool("print-signals", false, "print the Table 2 decode-signal specification")
-	noITR := flag.Bool("no-itr", false, "disable the ITR checker")
-	inject := flag.Int64("inject", 0, "inject a fault at this decode event (0 = none)")
-	bit := flag.Int("bit", 36, "signal bit to flip when injecting (0-63)")
-	workers := flag.Int("workers", 0, "bound Go runtime parallelism (0 = all cores); itrsim runs one pipeline, so this only caps GC/runtime threads")
-	flag.Parse()
-	if *workers > 0 {
-		runtime.GOMAXPROCS(*workers)
-	}
-
-	if *printSignals {
-		printTable2()
-		return nil
-	}
-
-	var prog *program.Program
-	var name string
-	if *profileFile != "" {
-		f, err := os.Open(*profileFile)
-		if err != nil {
-			return err
-		}
-		prof, err := workload.ParseProfile(f)
-		f.Close()
-		if err != nil {
-			return err
-		}
-		prog, err = workload.Build(prof)
-		if err != nil {
-			return err
-		}
-		name = prof.Name
-	} else if *asmFile != "" {
-		src, err := os.ReadFile(*asmFile)
-		if err != nil {
-			return err
-		}
-		prog, err = asm.Assemble(*asmFile, string(src))
-		if err != nil {
-			return err
-		}
-		name = *asmFile
-	} else {
-		prof, err := workload.ByName(*bench)
-		if err != nil {
-			return err
-		}
-		prog, err = workload.CachedProgram(prof)
-		if err != nil {
-			return err
-		}
-		name = prof.Name
-	}
-
-	cfg := pipeline.DefaultConfig()
-	cfg.ITREnabled = !*noITR
-	cpu, err := pipeline.New(prog, cfg)
-	if err != nil {
-		return err
-	}
-	if *inject > 0 {
-		inj := fault.Injection{DecodeIndex: *inject, Bit: *bit}
-		fmt.Printf("injecting: decode event %d, bit %d (%s field)\n", inj.DecodeIndex, inj.Bit, inj.Field())
-		done := false
-		cpu.SetFaultHook(func(i int64, pc uint64, wrongPath bool, d isa.DecodeSignals) isa.DecodeSignals {
-			if !done && i == inj.DecodeIndex {
-				done = true
-				fmt.Printf("  corrupted %s at pc=%d\n", d, pc)
-				return d.FlipBit(inj.Bit)
-			}
-			return d
-		})
-	}
-
-	res := cpu.Run(*cycles)
-	fmt.Printf("program:        %s (%d static instructions)\n", name, prog.Len())
-	fmt.Printf("termination:    %v\n", res.Termination)
-	fmt.Printf("cycles:         %d\n", res.Cycles)
-	fmt.Printf("committed:      %d (IPC %.2f)\n", res.Committed, res.IPC())
-	fmt.Printf("decode events:  %d\n", res.DecodeEvents)
-	fmt.Printf("mispredicts:    %d\n", res.Mispredicts)
-	fmt.Printf("spc violations: %d\n", res.SpcFired)
-	fmt.Printf("ITR flushes:    %d\n", res.ITRFlushes)
-	if c := cpu.Checker(); c != nil {
-		st := c.Stats()
-		fmt.Printf("ITR checker:    %d traces dispatched, %d hits, %d misses, %d writes\n",
-			st.Dispatched, st.Hits, st.Misses, st.Writes)
-		fmt.Printf("                %d mismatches, %d retries, %d recoveries, %d machine checks\n",
-			st.Mismatches, st.Retries, st.Recoveries, st.MachineChecks)
-	}
-	return nil
-}
-
-func printTable2() {
-	fmt.Println("Table 2. List of decode signals (64 bits total).")
-	t := stats.NewTable("field", "description", "width")
-	t.AddRow("opcode", "instruction opcode", 8)
-	t.AddRow("flags", "decoded control flags", 12)
-	t.AddRow("shamt", "shift amount", 5)
-	t.AddRow("rsrc1", "source register operand", 5)
-	t.AddRow("rsrc2", "source register operand", 5)
-	t.AddRow("rdst", "destination register operand", 5)
-	t.AddRow("lat", "execution latency", 2)
-	t.AddRow("imm", "immediate", 16)
-	t.AddRow("num_rsrc", "number of source operands", 2)
-	t.AddRow("num_rdst", "number of destination operands", 1)
-	t.AddRow("mem_size", "size of memory word", 3)
-	fmt.Print(t.String())
-	fmt.Println("\nControl flags:", flagList())
-	fmt.Println("\nBit layout of the packed signal word:")
-	prev := ""
-	start := 0
-	for pos := 0; pos <= isa.SignalBits; pos++ {
-		f := ""
-		if pos < isa.SignalBits {
-			f = isa.SignalField(pos)
-		}
-		if f != prev {
-			if prev != "" {
-				fmt.Printf("  bits %2d-%2d: %s\n", start, pos-1, prev)
-			}
-			prev, start = f, pos
-		}
-	}
-}
-
-func flagList() string {
-	s := ""
-	for i := 0; i < 12; i++ {
-		if i > 0 {
-			s += ", "
-		}
-		s += isa.FlagName(i)
-	}
-	return s
-}
+func main() { os.Exit(experiment.Shim("sim")) }

@@ -1,0 +1,116 @@
+package experiment
+
+import (
+	"flag"
+	"fmt"
+
+	"itr/internal/report"
+	"itr/internal/stats"
+	"itr/internal/workload"
+)
+
+func bindChar(fs *flag.FlagSet, s *Spec) {
+	fs.IntVar(&s.Char.Fig, "fig", s.Char.Fig, "figure to reproduce (1, 2, 3 or 4); 0 prints everything")
+	fs.BoolVar(&s.Char.Table1, "table1", s.Char.Table1, "print Table 1 (static trace counts)")
+	fs.Int64Var(&s.Budget, "budget", s.Budget, "dynamic-instruction budget per benchmark (scaled per profile)")
+	fs.StringVar(&s.JSONPath, "json", s.JSONPath, "also write the regenerated figures and Table 1 to this JSON file")
+	fs.IntVar(&s.Workers, "workers", s.Workers, "worker-pool width for per-benchmark characterization (0 = GOMAXPROCS); results are identical at any width")
+}
+
+// runChar reproduces the paper's program-repetition characterization:
+// Figures 1-2 (dynamic instructions contributed by the top-k static
+// traces), Figures 3-4 (dynamic instructions by trace repeat distance) and
+// Table 1 (static trace counts).
+func runChar(e *Engine) error {
+	s := e.Spec
+	rep := e.reportEngine(s.Workers)
+	w := e.out
+	var art report.ArtifactJSON
+	all := s.Char.Fig == 0 && !s.Char.Table1
+
+	if s.Char.Fig == 1 || all {
+		if err := e.stage("figure1", func() error {
+			series, err := rep.PopularityFigure(workload.IntSuite(), 100, 1000, s.Budget)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, "Figure 1. Dynamic instructions per 100 static traces (integer benchmarks).")
+			fmt.Fprintln(w, "Cumulative % of dynamic instructions from the top-k static traces:")
+			fmt.Fprint(w, stats.RenderSeries("top-k", series, "%.0f"))
+			fmt.Fprintln(w)
+			art.Figures = append(art.Figures, report.EncodeSeries("figure1", "Dynamic instructions per 100 static traces (int)", "top-k traces", "% dyn insts", series))
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if s.Char.Fig == 2 || all {
+		if err := e.stage("figure2", func() error {
+			series, err := rep.PopularityFigure(workload.FPSuite(), 50, 500, s.Budget)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, "Figure 2. Dynamic instructions per 50 static traces (floating point benchmarks).")
+			fmt.Fprint(w, stats.RenderSeries("top-k", series, "%.0f"))
+			fmt.Fprintln(w)
+			art.Figures = append(art.Figures, report.EncodeSeries("figure2", "Dynamic instructions per 50 static traces (fp)", "top-k traces", "% dyn insts", series))
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if s.Char.Fig == 3 || all {
+		if err := e.stage("figure3", func() error {
+			series, err := rep.DistanceFigure(workload.IntSuite(), s.Budget)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, "Figure 3. Distance between trace repetitions (integer benchmarks).")
+			fmt.Fprintln(w, "Cumulative % of dynamic instructions from repetitions within distance d:")
+			fmt.Fprint(w, stats.RenderSeries("< d", series, "%.0f"))
+			fmt.Fprintln(w)
+			art.Figures = append(art.Figures, report.EncodeSeries("figure3", "Distance between trace repetitions (int)", "< distance", "% dyn insts", series))
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if s.Char.Fig == 4 || all {
+		if err := e.stage("figure4", func() error {
+			series, err := rep.DistanceFigure(workload.FPSuite(), s.Budget)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, "Figure 4. Distance between trace repetitions (floating point benchmarks).")
+			fmt.Fprint(w, stats.RenderSeries("< d", series, "%.0f"))
+			fmt.Fprintln(w)
+			art.Figures = append(art.Figures, report.EncodeSeries("figure4", "Distance between trace repetitions (fp)", "< distance", "% dyn insts", series))
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if s.Char.Table1 || all {
+		if err := e.stage("table1", func() error {
+			rows, err := rep.Table1(s.Budget)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, "Table 1. Number of static traces for SPEC.")
+			t := stats.NewTable("benchmark", "suite", "measured", "paper")
+			for _, r := range rows {
+				suite := "SPECint"
+				if r.FP {
+					suite = "SPECfp"
+				}
+				t.AddRow(r.Benchmark, suite, r.Measured, r.Paper)
+			}
+			fmt.Fprint(w, t.String())
+			art.Table1 = report.EncodeTable1(rows)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	return e.writeArtifact(art)
+}

@@ -1,0 +1,223 @@
+package experiment
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"itr/internal/fault"
+	"itr/internal/report"
+	"itr/internal/workload"
+)
+
+func bindFault(fs *flag.FlagSet, s *Spec) {
+	fs.IntVar(&s.Campaign.Faults, "faults", s.Campaign.Faults, "injections per benchmark (paper: 1000)")
+	fs.Int64Var(&s.Campaign.Window, "window", s.Campaign.Window, "observation window in cycles (paper: 1,000,000)")
+	fs.StringVar(&s.Bench, "bench", s.Bench, "restrict to one benchmark")
+	fs.Uint64Var(&s.Seed, "seed", s.Seed, "campaign seed")
+	fs.Var(negBool{&s.Campaign.NoVerify}, "verify", "confirm each recoverable detection with the full protocol")
+	fs.BoolVar(&s.Campaign.Fields, "fields", s.Campaign.Fields, "also tally injections by Table 2 field")
+	fs.BoolVar(&s.Campaign.Checkpoint, "checkpoint", s.Campaign.Checkpoint, "enable coarse-grain checkpointing in verify runs (Section 2.3 extension)")
+	fs.IntVar(&s.Campaign.PCFaults, "pc", s.Campaign.PCFaults, "run a Section 2.5 PC-fault study with this many injections per benchmark")
+	fs.IntVar(&s.Campaign.CacheFaults, "cache", s.Campaign.CacheFaults, "run a Section 2.4 ITR-cache fault study with this many injections per benchmark")
+	fs.IntVar(&s.Campaign.RenameFaults, "rename", s.Campaign.RenameFaults, "run the rename-protection study with this many injections per benchmark")
+	fs.StringVar(&s.JSONPath, "json", s.JSONPath, "also write the Figure 8 campaign results to this JSON file")
+	fs.IntVar(&s.Workers, "workers", s.Workers, "injection worker-pool width per campaign (0 = GOMAXPROCS); results are identical at any width")
+	fs.Int64Var(&s.Campaign.SnapshotInterval, "snapshot-interval", s.Campaign.SnapshotInterval,
+		fmt.Sprintf("decode events between pilot snapshots for campaign fast-forward (0 = default %d, negative = disabled); results are identical either way", fault.DefaultSnapshotInterval))
+}
+
+// runFault reproduces the paper's Section 4 fault-injection study
+// (Figure 8): random single-bit flips on the decode signals of Table 2,
+// classified against a golden lockstep simulator into the ten outcome
+// categories, plus the optional PC-fault, cache-fault and rename studies.
+func runFault(e *Engine) error {
+	s := e.Spec
+	w := e.out
+
+	cfg := fault.DefaultCampaignConfig()
+	cfg.Faults = s.Campaign.Faults
+	cfg.Seed = s.Seed
+	cfg.Workers = s.Workers
+	cfg.Progress = e.camp
+	cfg.Experiment.WindowCycles = s.Campaign.Window
+	cfg.Experiment.Verify = !s.Campaign.NoVerify
+	cfg.Experiment.Checkpoint = s.Campaign.Checkpoint
+	cfg.Experiment.SnapshotInterval = s.Campaign.SnapshotInterval
+	cfg.Experiment.Pipeline.Probe = e.probe
+	e.manifest.SnapshotInterval = cfg.Experiment.EffectiveSnapshotInterval()
+
+	profiles := workload.CoverageSuite()
+	if s.Bench != "" {
+		p, err := workload.ByName(s.Bench)
+		if err != nil {
+			return err
+		}
+		profiles = []workload.Profile{p}
+	}
+
+	// Parallelism lives in the per-injection campaign pool; keep the
+	// benchmark-level report pool serial so the two do not multiply.
+	rep := e.reportEngine(1)
+
+	var rows []report.Figure8Row
+	if err := e.stage("campaign", func() error {
+		fmt.Fprintf(w, "Figure 8. Fault injection results: %d faults/benchmark, %d-cycle window, ITR cache 2-way/1024.\n",
+			cfg.Faults, cfg.Experiment.WindowCycles)
+		start := time.Now()
+		var err error
+		rows, err = rep.Figure8(profiles, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, report.Figure8Table(rows).String())
+		if s.JSONPath != "" {
+			f, err := os.Create(s.JSONPath)
+			if err != nil {
+				return err
+			}
+			if err := report.WriteJSON(f, report.EncodeCampaigns(rows)); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(w, "(%d campaigns in %v)\n", len(rows), time.Since(start).Round(time.Millisecond))
+		snaps, pages := 0, 0
+		for _, r := range rows {
+			snaps += r.Result.Snapshots
+			pages += r.Result.SnapshotPages
+		}
+		if snaps > 0 {
+			fmt.Fprintf(w, "(snapshot fast-forward: %d pilot snapshots retained, %d memory pages ≈ %.1f MiB)\n",
+				snaps, pages, float64(pages)*4096/(1<<20))
+		}
+		fmt.Fprintln(w, "(paper averages: 95.4% ITR-detected; ITR+Mask 59.4%, ITR+SDC+R 32%, ITR+wdog+R 3%,")
+		fmt.Fprintln(w, " ITR+SDC+D 1%, Undet+SDC 2.6%, Undet+Mask 1.8%, spc+SDC 0.1%, Undet+wdog 0.1%)")
+
+		verified, attempted := 0, 0
+		for _, r := range rows {
+			verified += r.Result.RecoveryConfirmed
+			attempted += r.Result.RecoveryAttempted
+		}
+		if attempted > 0 {
+			fmt.Fprintf(w, "Recovery verification: %d/%d recoverable detections recovered by the full protocol.\n",
+				verified, attempted)
+		}
+
+		if s.Campaign.Checkpoint {
+			recovered := 0
+			for _, r := range rows {
+				recovered += r.Result.CheckpointRecovered
+			}
+			fmt.Fprintf(w, "Checkpoint extension: %d detection-only faults recovered by rollback.\n", recovered)
+		}
+
+		if s.Campaign.Fields {
+			fmt.Fprintln(w, "\nInjections by Table 2 field:")
+			for _, r := range rows {
+				fmt.Fprintf(w, "  %-8s", r.Benchmark)
+				for field, n := range r.Result.ByField {
+					fmt.Fprintf(w, " %s:%d", field, n)
+				}
+				fmt.Fprintln(w)
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if s.Campaign.PCFaults > 0 {
+		if err := e.stage("pc-study", func() error {
+			fmt.Fprintf(w, "\nSection 2.5 PC-fault study (%d injections/benchmark):\n", s.Campaign.PCFaults)
+			fmt.Fprintf(w, "%-10s %8s %14s %6s %16s %8s %6s\n",
+				"benchmark", "itr(%)", "branch-rep(%)", "spc(%)", "undetect-sdc(%)", "mask(%)", "wdog(%)")
+			for _, p := range profiles {
+				prog, err := workload.CachedProgram(p)
+				if err != nil {
+					return err
+				}
+				res, err := fault.RunPCFaultCampaign(prog, cfg.Experiment, s.Campaign.PCFaults, s.Seed)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "%-10s %8.1f %14.1f %6.1f %16.1f %8.1f %6.1f\n", p.Name,
+					res.Pct(fault.PCDetectedITR), res.Pct(fault.PCDetectedBranch),
+					res.Pct(fault.PCDetectedSpc), res.Pct(fault.PCUndetectedSDC),
+					res.Pct(fault.PCMasked), res.Pct(fault.PCDeadlock))
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+
+	if s.Campaign.CacheFaults > 0 {
+		if err := e.stage("cache-study", func() error {
+			fmt.Fprintf(w, "\nSection 2.4 ITR-cache fault study (%d injections/benchmark):\n", s.Campaign.CacheFaults)
+			fmt.Fprintf(w, "%-10s %-10s %22s %18s %10s %5s\n",
+				"benchmark", "parity", "false-machine-check(%)", "parity-repaired(%)", "masked(%)", "sdc")
+			for _, p := range profiles {
+				prog, err := workload.CachedProgram(p)
+				if err != nil {
+					return err
+				}
+				for _, parity := range []bool{false, true} {
+					res, err := fault.RunCacheFaultCampaign(prog, cfg.Experiment, parity, s.Campaign.CacheFaults, s.Seed)
+					if err != nil {
+						return err
+					}
+					pct := func(o fault.CacheFaultOutcome) float64 {
+						if res.Total == 0 {
+							return 0
+						}
+						return 100 * float64(res.Counts[o]) / float64(res.Total)
+					}
+					fmt.Fprintf(w, "%-10s %-10v %22.1f %18.1f %10.1f %5d\n", p.Name, parity,
+						pct(fault.CacheFalseMachineCheck), pct(fault.CacheParityRepaired),
+						pct(fault.CacheMasked), res.SDC)
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+
+	if s.Campaign.RenameFaults > 0 {
+		if err := e.stage("rename-study", func() error {
+			fmt.Fprintf(w, "\nRename-unit protection study (%d injections/benchmark):\n", s.Campaign.RenameFaults)
+			fmt.Fprintf(w, "%-10s %18s %18s %14s %16s %14s\n",
+				"benchmark", "sdc w/o ext (%)", "frontend-det (%)", "ext-det (%)", "ext-recover (%)", "sdc w/ ext (%)")
+			for _, p := range profiles {
+				prog, err := workload.CachedProgram(p)
+				if err != nil {
+					return err
+				}
+				res, err := fault.RunRenameCampaign(prog, cfg.Experiment, s.Campaign.RenameFaults, s.Seed)
+				if err != nil {
+					return err
+				}
+				pct := func(n int) float64 {
+					if res.Total == 0 {
+						return 0
+					}
+					return 100 * float64(n) / float64(res.Total)
+				}
+				fmt.Fprintf(w, "%-10s %18.1f %18.1f %14.1f %16.1f %14.1f\n", p.Name,
+					res.SDCWithoutPct(), pct(res.FrontendDetected), res.DetectedPct(),
+					pct(res.RecoveredWithExtension), pct(res.SDCWithExtension))
+			}
+			fmt.Fprintln(w, "(frontend ITR is blind to pure rename-index faults; the rename-signature")
+			fmt.Fprintln(w, " extension closes the gap, per the paper's Section 1 discussion of RNA)")
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,41 @@
+package experiment
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func bindRun(fs *flag.FlagSet, s *Spec) {
+	fs.StringVar(&s.SpecPath, "spec", s.SpecPath, "JSON experiment spec file to run (see docs/EXPERIMENT_SPECS.md)")
+	fs.IntVar(&s.Workers, "workers", s.Workers, "override the spec's worker-pool width (0 = keep the spec's value)")
+}
+
+// resolveRun loads the spec file named by -spec and returns it as the spec
+// to execute, applying any CLI overrides (-workers, -manifest, -progress)
+// on top of the file's values.
+func resolveRun(cli Spec) (Spec, error) {
+	if cli.SpecPath == "" {
+		return Spec{}, fmt.Errorf("run: -spec is required")
+	}
+	f, err := os.Open(cli.SpecPath)
+	if err != nil {
+		return Spec{}, err
+	}
+	defer f.Close()
+	spec, err := ParseSpec(f)
+	if err != nil {
+		return Spec{}, fmt.Errorf("%s: %w", cli.SpecPath, err)
+	}
+	spec.SpecPath = cli.SpecPath
+	if cli.Workers > 0 {
+		spec.Workers = cli.Workers
+	}
+	if cli.ManifestPath != "" {
+		spec.ManifestPath = cli.ManifestPath
+	}
+	if cli.Progress {
+		spec.Progress = true
+	}
+	return spec, nil
+}

@@ -1,0 +1,255 @@
+package experiment
+
+import (
+	"fmt"
+	"hash"
+	"hash/fnv"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"itr/internal/fault"
+	"itr/internal/pipeline"
+	"itr/internal/report"
+)
+
+// Engine resolves a Spec into the report/fault/energy entry points, timing
+// each stage and writing a Manifest beside the run. Engines are single-use:
+// build one per run with New.
+type Engine struct {
+	// Spec is the scenario to run; it is normalized by Run.
+	Spec Spec
+	// Out receives the rendered tables and figures (the legacy binaries'
+	// stdout). Err receives progress ticks and diagnostics.
+	Out io.Writer
+	Err io.Writer
+
+	out     *digestWriter
+	probe   *pipeline.Probe
+	camp    *fault.Progress
+	started time.Time
+
+	mu       sync.Mutex
+	bench    map[string]*BenchTiming
+	manifest Manifest
+}
+
+// New builds an engine for spec writing to out (tables) and errw
+// (progress/diagnostics). Nil writers default to os.Stdout / os.Stderr.
+func New(spec Spec, out, errw io.Writer) *Engine {
+	if out == nil {
+		out = os.Stdout
+	}
+	if errw == nil {
+		errw = os.Stderr
+	}
+	return &Engine{Spec: spec, Out: out, Err: errw}
+}
+
+// Run executes the spec's experiment and writes the manifest. The rendered
+// output is byte-identical to the legacy standalone binaries.
+func (e *Engine) Run() error {
+	e.Spec = e.Spec.Normalized()
+	cmd := Lookup(e.Spec.Kind)
+	if cmd == nil || cmd.Run == nil {
+		return fmt.Errorf("unknown experiment kind %q", e.Spec.Kind)
+	}
+	e.out = &digestWriter{w: e.Out}
+	e.probe = &pipeline.Probe{}
+	e.camp = &fault.Progress{}
+	e.bench = make(map[string]*BenchTiming)
+	e.started = time.Now()
+	e.manifest = Manifest{
+		SchemaVersion: ManifestSchemaVersion,
+		Spec:          e.Spec,
+		Version:       Version(),
+		Started:       e.started.UTC().Format(time.RFC3339),
+		Workers:       resolveWorkers(e.Spec.Workers),
+	}
+	if e.Spec.Progress {
+		stop := e.startProgress()
+		defer stop()
+	}
+	if err := cmd.Run(e); err != nil {
+		return err
+	}
+	e.finish()
+	return e.writeManifest()
+}
+
+// Manifest returns the run record; valid after Run returns nil.
+func (e *Engine) Manifest() Manifest { return e.manifest }
+
+// resolveWorkers maps the spec convention (<= 0 means GOMAXPROCS) to the
+// effective width recorded in the manifest.
+func resolveWorkers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// reportEngine builds a report pool of the given width wired to the
+// engine's per-benchmark timing observer.
+func (e *Engine) reportEngine(workers int) *report.Engine {
+	return &report.Engine{Workers: workers, OnItem: e.recordItem}
+}
+
+// recordItem aggregates one timed work unit into the per-benchmark table.
+// It is called concurrently from report pool goroutines.
+func (e *Engine) recordItem(label string, elapsed time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	bt := e.bench[label]
+	if bt == nil {
+		bt = &BenchTiming{Name: label}
+		e.bench[label] = bt
+	}
+	bt.Seconds += elapsed.Seconds()
+	bt.Items++
+}
+
+// stage runs one sequential phase, recording its wall clock and a digest of
+// everything it printed.
+func (e *Engine) stage(name string, fn func() error) error {
+	h := fnv.New64a()
+	e.out.setHash(h)
+	start := time.Now()
+	err := fn()
+	e.out.setHash(nil)
+	e.manifest.Stages = append(e.manifest.Stages, StageTiming{
+		Name:         name,
+		Seconds:      time.Since(start).Seconds(),
+		OutputDigest: fmt.Sprintf("%016x", h.Sum64()),
+	})
+	return err
+}
+
+// finish seals the manifest: total wall clock, sorted per-benchmark
+// timings, and the final telemetry snapshot.
+func (e *Engine) finish() {
+	e.manifest.WallClockSeconds = time.Since(e.started).Seconds()
+
+	names := make([]string, 0, len(e.bench))
+	for name := range e.bench {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		e.manifest.Benchmarks = append(e.manifest.Benchmarks, *e.bench[name])
+	}
+
+	t := &e.manifest.Telemetry
+	t.CyclesSimulated = e.probe.Cycles.Load()
+	t.DecodeEvents = e.probe.DecodeEvents.Load()
+	t.SnapshotRestores = e.probe.SnapshotRestores.Load()
+	t.Injections = e.camp.Injections.Load()
+	if t.Injections > 0 && e.manifest.WallClockSeconds > 0 {
+		t.InjectionsPerSec = float64(t.Injections) / e.manifest.WallClockSeconds
+	}
+}
+
+// writeManifest writes the run record to the spec's manifest path
+// (default itr-<kind>-manifest.json; "none" disables).
+func (e *Engine) writeManifest() error {
+	path := e.Spec.ManifestPath
+	if path == "none" {
+		return nil
+	}
+	if path == "" {
+		path = fmt.Sprintf("itr-%s-manifest.json", e.Spec.Kind)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("manifest: %w", err)
+	}
+	if err := report.WriteJSON(f, e.manifest); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("manifest: %w", err)
+	}
+	return nil
+}
+
+// writeArtifact writes the run's machine-readable artifact bundle to the
+// spec's JSON path, if one was requested.
+func (e *Engine) writeArtifact(art report.ArtifactJSON) error {
+	if e.Spec.JSONPath == "" {
+		return nil
+	}
+	f, err := os.Create(e.Spec.JSONPath)
+	if err != nil {
+		return err
+	}
+	if err := report.WriteJSON(f, art); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// startProgress launches the -progress ticker: a live telemetry line on Err
+// every two seconds. The returned stop function is safe to call once.
+func (e *Engine) startProgress() func() {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(2 * time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				elapsed := time.Since(e.started).Seconds()
+				cycles := e.probe.Cycles.Load()
+				decodes := e.probe.DecodeEvents.Load()
+				restores := e.probe.SnapshotRestores.Load()
+				inj := e.camp.Injections.Load()
+				line := fmt.Sprintf("progress: %.0fs: %d cycles, %d decode events", elapsed, cycles, decodes)
+				if restores > 0 {
+					line += fmt.Sprintf(", %d restores", restores)
+				}
+				if inj > 0 {
+					line += fmt.Sprintf(", %d injections (%.1f/s)", inj, float64(inj)/elapsed)
+				}
+				fmt.Fprintln(e.Err, line)
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+	}
+}
+
+// digestWriter tees writes into the stage's hash (when one is installed) on
+// the way to the real output. The mutex covers hash swaps racing with
+// writes; experiment output itself is written from the engine goroutine.
+type digestWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+	h  hash.Hash64
+}
+
+func (d *digestWriter) setHash(h hash.Hash64) {
+	d.mu.Lock()
+	d.h = h
+	d.mu.Unlock()
+}
+
+func (d *digestWriter) Write(p []byte) (int, error) {
+	d.mu.Lock()
+	if d.h != nil {
+		d.h.Write(p)
+	}
+	d.mu.Unlock()
+	return d.w.Write(p)
+}

@@ -1,0 +1,102 @@
+package experiment
+
+import (
+	"runtime/debug"
+)
+
+// ManifestSchemaVersion identifies the manifest wire shape; bump it on any
+// incompatible change so downstream consumers can dispatch.
+const ManifestSchemaVersion = 1
+
+// Manifest is the reproducible record written alongside every run: the spec
+// that produced it, the code version, wall clock per stage, effective worker
+// width, per-benchmark timings, digests of the rendered output, and the
+// simulation telemetry accumulated by the pipeline and campaign probes.
+type Manifest struct {
+	SchemaVersion int `json:"schemaVersion"`
+	// Spec echoes the (normalized) spec; feeding it back through
+	// `itr run -spec` reproduces the run.
+	Spec Spec `json:"spec"`
+	// Version is a git-describe-style identifier of the code that ran
+	// (VCS revision when stamped into the build, else "unknown").
+	Version string `json:"version"`
+	// Started is the run's UTC start time, RFC 3339.
+	Started string `json:"started"`
+	// WallClockSeconds is the whole run, including manifest bookkeeping.
+	WallClockSeconds float64 `json:"wallClockSeconds"`
+	// Workers is the effective worker width the run resolved to.
+	Workers int `json:"workers"`
+	// SnapshotInterval is the resolved campaign fast-forward interval
+	// (fault runs only; 0 = fast path disabled).
+	SnapshotInterval int64 `json:"snapshotInterval,omitempty"`
+	// Stages times each sequential phase of the run and digests the bytes
+	// it printed, so two runs can be compared stage by stage.
+	Stages []StageTiming `json:"stages"`
+	// Benchmarks aggregates per-benchmark work (sorted by name; one entry
+	// per benchmark that contributed timed work units).
+	Benchmarks []BenchTiming `json:"benchmarks,omitempty"`
+	// Telemetry is the probe snapshot at the end of the run.
+	Telemetry Telemetry `json:"telemetry"`
+}
+
+// StageTiming is one sequential phase of a run.
+type StageTiming struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+	// OutputDigest is the FNV-64a of the bytes the stage wrote to stdout —
+	// a cheap result digest: identical output implies identical digest.
+	OutputDigest string `json:"outputDigest"`
+}
+
+// BenchTiming aggregates one benchmark's timed work units (characterization
+// runs, sweep cell replays, fault campaigns).
+type BenchTiming struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+	// Items is the number of work units timed (e.g. sweep cells).
+	Items int `json:"items"`
+}
+
+// Telemetry is the observability snapshot surfaced in the manifest and the
+// -progress ticker.
+type Telemetry struct {
+	// CyclesSimulated and DecodeEvents aggregate over every pipeline the
+	// run created (pilots, observe runs, verify runs, sim runs).
+	CyclesSimulated int64 `json:"cyclesSimulated"`
+	DecodeEvents    int64 `json:"decodeEvents"`
+	// SnapshotRestores counts campaign fast-forward resumes.
+	SnapshotRestores int64 `json:"snapshotRestores"`
+	// Injections counts completed fault-injection experiments;
+	// InjectionsPerSec is Injections over the run's wall clock.
+	Injections       int64   `json:"injections,omitempty"`
+	InjectionsPerSec float64 `json:"injectionsPerSec,omitempty"`
+}
+
+// Version returns a git-describe-style identifier for the running build:
+// the VCS revision (12 hex digits, "+dirty" when the tree was modified)
+// when the toolchain stamped one, else "unknown".
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	var rev, modified string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			modified = s.Value
+		}
+	}
+	if rev == "" {
+		return "unknown"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if modified == "true" {
+		rev += "+dirty"
+	}
+	return rev
+}

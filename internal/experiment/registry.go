@@ -1,0 +1,148 @@
+package experiment
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// Command is one `itr` subcommand: a name, a one-line summary, a flag
+// binding onto the Spec, and either a Run body (engine-backed experiments)
+// or a Resolve hook producing the spec to run (e.g. `itr run -spec`).
+type Command struct {
+	Name    string
+	Summary string
+	// Bind registers the command's flags onto fs, targeting fields of s.
+	// Flag defaults are s's current (normalized) values, so CLI defaults
+	// and spec-file defaults cannot drift apart.
+	Bind func(fs *flag.FlagSet, s *Spec)
+	// Run executes the experiment on an engine (nil for meta commands).
+	Run func(e *Engine) error
+	// Resolve, when non-nil, maps the parsed spec to the spec actually run
+	// (it may change Kind). Used by `itr run` to load a spec file.
+	Resolve func(s Spec) (Spec, error)
+}
+
+// commands is the registry, in help order. It is filled in by init rather
+// than declared with its value: `run` resolves spec files through ParseSpec,
+// which validates kinds against the registry, and a literal would make that
+// an initialization cycle.
+var commands []*Command
+
+func init() {
+	commands = []*Command{
+		{Name: "char", Summary: "Figures 1-4 and Table 1: program-repetition characterization", Bind: bindChar, Run: runChar},
+		{Name: "coverage", Summary: "Figures 6-7: coverage-loss design-space exploration", Bind: bindCoverage, Run: runCoverage},
+		{Name: "dump", Summary: "inspect a benchmark program (disassembly, traces, mix)", Bind: bindDump, Run: runDump},
+		{Name: "energy", Summary: "Figure 9 and Section 5: energy and area comparison", Bind: bindEnergy, Run: runEnergy},
+		{Name: "fault", Summary: "Figure 8: the Section 4 fault-injection campaign", Bind: bindFault, Run: runFault},
+		{Name: "sim", Summary: "run one benchmark on the ITR-protected cycle-level core", Bind: bindSim, Run: runSim},
+		{Name: "run", Summary: "run an experiment declared in a JSON spec file", Bind: bindRun, Resolve: resolveRun},
+	}
+}
+
+// Commands returns the registry in help order.
+func Commands() []*Command { return commands }
+
+// Lookup returns the command named name, or nil.
+func Lookup(name string) *Command {
+	for _, c := range commands {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, "Usage: itr <command> [flags]")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Commands:")
+	for _, c := range commands {
+		fmt.Fprintf(w, "  %-10s %s\n", c.Name, c.Summary)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Run 'itr <command> -h' for the command's flags. Every run writes a")
+	fmt.Fprintln(w, "manifest (itr-<command>-manifest.json; -manifest none disables) with the")
+	fmt.Fprintln(w, "spec, per-stage timings, per-benchmark timings and telemetry.")
+}
+
+// bindCommon registers the flags shared by every subcommand.
+func bindCommon(fs *flag.FlagSet, s *Spec) {
+	fs.StringVar(&s.ManifestPath, "manifest", s.ManifestPath,
+		"run-manifest path (default itr-<command>-manifest.json; \"none\" disables)")
+	fs.BoolVar(&s.Progress, "progress", s.Progress,
+		"print a live telemetry ticker to stderr while the run is in flight")
+}
+
+// Main is the `itr` CLI entry point: dispatches argv[0] to the registry,
+// binds flags onto the command's default spec, and runs the engine. It
+// returns the process exit code.
+func Main(argv []string, out, errw io.Writer) int {
+	if len(argv) == 0 || argv[0] == "help" || argv[0] == "-h" || argv[0] == "--help" {
+		usage(errw)
+		if len(argv) == 0 {
+			return 2
+		}
+		return 0
+	}
+	cmd := Lookup(argv[0])
+	if cmd == nil {
+		fmt.Fprintf(errw, "itr: unknown command %q\n\n", argv[0])
+		usage(errw)
+		return 2
+	}
+	spec := DefaultSpec(cmd.Name)
+	fs := flag.NewFlagSet("itr "+cmd.Name, flag.ContinueOnError)
+	fs.SetOutput(errw)
+	bindCommon(fs, &spec)
+	cmd.Bind(fs, &spec)
+	if err := fs.Parse(argv[1:]); err != nil {
+		return 2
+	}
+	if cmd.Resolve != nil {
+		var err error
+		if spec, err = cmd.Resolve(spec); err != nil {
+			fmt.Fprintf(errw, "itr %s: %v\n", cmd.Name, err)
+			return 1
+		}
+	}
+	if err := New(spec, out, errw).Run(); err != nil {
+		fmt.Fprintf(errw, "itr %s: %v\n", cmd.Name, err)
+		return 1
+	}
+	return 0
+}
+
+// Shim backs the legacy standalone binaries (itrchar, itrfault, ...) for
+// one release: it forwards os.Args to the named subcommand and returns the
+// exit code. Output is identical to `itr <kind>`.
+func Shim(kind string) int {
+	fmt.Fprintf(os.Stderr, "note: itr%s is deprecated; use `itr %s` (this shim forwards to it)\n", kind, kind)
+	return Main(append([]string{kind}, os.Args[1:]...), os.Stdout, os.Stderr)
+}
+
+// negBool is a flag.Value storing the *negation* of the flag into its
+// target, so a legacy "-verify" (default true) flag can back a zero-default
+// NoVerify spec field without CLI and spec-file defaults drifting.
+type negBool struct{ p *bool }
+
+func (b negBool) IsBoolFlag() bool { return true }
+
+func (b negBool) String() string {
+	if b.p == nil {
+		return "true"
+	}
+	return strconv.FormatBool(!*b.p)
+}
+
+func (b negBool) Set(v string) error {
+	val, err := strconv.ParseBool(v)
+	if err != nil {
+		return err
+	}
+	*b.p = !val
+	return nil
+}

@@ -1,0 +1,138 @@
+package experiment
+
+import (
+	"bytes"
+	"flag"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// parseArgs mimics Main's flag binding: defaults from the normalized spec,
+// common flags, then the command's flags over argv.
+func parseArgs(t *testing.T, kind string, argv ...string) Spec {
+	t.Helper()
+	cmd := Lookup(kind)
+	if cmd == nil {
+		t.Fatalf("no command %q", kind)
+	}
+	spec := DefaultSpec(kind)
+	fs := flag.NewFlagSet("itr "+kind, flag.ContinueOnError)
+	fs.SetOutput(&bytes.Buffer{})
+	bindCommon(fs, &spec)
+	cmd.Bind(fs, &spec)
+	if err := fs.Parse(argv); err != nil {
+		t.Fatalf("itr %s %v: %v", kind, argv, err)
+	}
+	return spec
+}
+
+// TestLegacyFlagParity drives each subcommand with the flag vectors the
+// legacy standalone binaries documented and checks the resulting spec —
+// this is the contract that lets the shims forward verbatim.
+func TestLegacyFlagParity(t *testing.T) {
+	cases := []struct {
+		name string
+		kind string
+		argv []string
+		want func(Spec) Spec // edits on top of the kind's default spec
+	}{
+		{"fault defaults", "fault", nil, func(s Spec) Spec { return s }},
+		{"fault paper scale", "fault", []string{"-faults", "1000", "-window", "1000000"},
+			func(s Spec) Spec { s.Campaign.Faults = 1000; s.Campaign.Window = 1_000_000; return s }},
+		{"fault one bench", "fault", []string{"-bench", "gap", "-faults", "200"},
+			func(s Spec) Spec { s.Bench = "gap"; s.Campaign.Faults = 200; return s }},
+		{"fault verify off", "fault", []string{"-verify=false"},
+			func(s Spec) Spec { s.Campaign.NoVerify = true; return s }},
+		{"fault verify on is default", "fault", []string{"-verify"},
+			func(s Spec) Spec { return s }},
+		{"fault studies", "fault", []string{"-pc", "50", "-cache", "40", "-rename", "30", "-fields", "-checkpoint"},
+			func(s Spec) Spec {
+				s.Campaign.PCFaults = 50
+				s.Campaign.CacheFaults = 40
+				s.Campaign.RenameFaults = 30
+				s.Campaign.Fields = true
+				s.Campaign.Checkpoint = true
+				return s
+			}},
+		{"fault snapshot interval off", "fault", []string{"-snapshot-interval", "-1"},
+			func(s Spec) Spec { s.Campaign.SnapshotInterval = -1; return s }},
+		{"char figure", "char", []string{"-fig", "4", "-budget", "20000000"},
+			func(s Spec) Spec { s.Char.Fig = 4; s.Budget = 20_000_000; return s }},
+		{"char table1 json", "char", []string{"-table1", "-json", "t1.json"},
+			func(s Spec) Spec { s.Char.Table1 = true; s.JSONPath = "t1.json"; return s }},
+		{"coverage metric", "coverage", []string{"-metric", "detection", "-bench", "vortex"},
+			func(s Spec) Spec { s.Coverage.Metric = "detection"; s.Bench = "vortex"; return s }},
+		{"coverage headline", "coverage", []string{"-headline", "-warmup", "1000000"},
+			func(s Spec) Spec { s.Coverage.Headline = true; s.Warmup = 1_000_000; return s }},
+		{"dump disassembly", "dump", []string{"-bench", "gap", "-dis", "-from", "10", "-n", "40"},
+			func(s Spec) Spec { s.Bench = "gap"; s.Dump.Dis = true; s.Dump.From = 10; s.Dump.N = 40; return s }},
+		{"energy perf", "energy", []string{"-perf", "-scale", "-1"},
+			func(s Spec) Spec { s.Energy.Perf = true; s.Energy.Scale = -1; return s }},
+		{"sim injection", "sim", []string{"-bench", "gap", "-inject", "5000", "-bit", "12"},
+			func(s Spec) Spec { s.Bench = "gap"; s.Sim.Inject = 5000; s.Sim.Bit = 12; return s }},
+		{"sim no itr", "sim", []string{"-no-itr", "-cycles", "1000"},
+			func(s Spec) Spec { s.Sim.NoITR = true; s.Sim.Cycles = 1000; return s }},
+		{"common manifest progress", "sim", []string{"-manifest", "none", "-progress"},
+			func(s Spec) Spec { s.ManifestPath = "none"; s.Progress = true; return s }},
+	}
+	for _, tc := range cases {
+		got := parseArgs(t, tc.kind, tc.argv...)
+		want := tc.want(DefaultSpec(tc.kind))
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s:\n got %+v\nwant %+v", tc.name, got, want)
+		}
+	}
+}
+
+// TestRegistryComplete checks the registry lists exactly the six experiment
+// kinds plus the run meta-command, each with a bind and a summary.
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"char", "coverage", "dump", "energy", "fault", "sim", "run"}
+	cmds := Commands()
+	if len(cmds) != len(want) {
+		t.Fatalf("registry has %d commands; want %d", len(cmds), len(want))
+	}
+	for i, name := range want {
+		c := cmds[i]
+		if c.Name != name {
+			t.Errorf("commands[%d] = %q; want %q", i, c.Name, name)
+		}
+		if c.Bind == nil || c.Summary == "" {
+			t.Errorf("%s: missing Bind or Summary", name)
+		}
+		if name == "run" {
+			if c.Resolve == nil || c.Run != nil {
+				t.Errorf("run must have Resolve and no Run body")
+			}
+		} else if c.Run == nil {
+			t.Errorf("%s: missing Run", name)
+		}
+		if Lookup(name) != c {
+			t.Errorf("Lookup(%q) did not return the registry entry", name)
+		}
+	}
+	if Lookup("nope") != nil {
+		t.Error("Lookup of unknown name should be nil")
+	}
+}
+
+// TestMainUnknownCommand pins the CLI's error paths: unknown commands and
+// bare invocations print usage and exit 2.
+func TestMainUnknownCommand(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := Main([]string{"warp"}, &out, &errw); code != 2 {
+		t.Errorf("unknown command exit = %d; want 2", code)
+	}
+	if !strings.Contains(errw.String(), "unknown command") || !strings.Contains(errw.String(), "Usage: itr") {
+		t.Errorf("unknown command output missing usage:\n%s", errw.String())
+	}
+	errw.Reset()
+	if code := Main(nil, &out, &errw); code != 2 {
+		t.Errorf("bare invocation exit = %d; want 2", code)
+	}
+	errw.Reset()
+	if code := Main([]string{"help"}, &out, &errw); code != 0 {
+		t.Errorf("help exit = %d; want 0", code)
+	}
+}

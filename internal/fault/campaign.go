@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"itr/internal/core"
 	"itr/internal/isa"
@@ -23,6 +24,18 @@ type CampaignConfig struct {
 	Experiment Config
 	// Workers bounds parallel experiments (default: GOMAXPROCS).
 	Workers int
+	// Progress, when non-nil, receives live campaign telemetry. One
+	// Progress may be shared across concurrent campaigns.
+	Progress *Progress
+}
+
+// Progress accumulates live campaign telemetry across injection workers and
+// benchmarks. All fields are atomic so a progress ticker can read them while
+// the campaign runs. Pair it with a pipeline.Probe on
+// Experiment.Pipeline.Probe for cycle/decode/restore counts.
+type Progress struct {
+	// Injections counts completed injection experiments.
+	Injections atomic.Int64
 }
 
 // DefaultCampaignConfig returns a scaled-down campaign (raise Faults to 1000
@@ -98,10 +111,7 @@ func RunCampaign(name string, prog *program.Program, cfg CampaignConfig) (Campai
 	// differ only in how detections are handled — so the decode-event space
 	// matches what any injection run sees up to its fault point.
 	window := cfg.Experiment.WindowCycles
-	interval := cfg.Experiment.SnapshotInterval
-	if interval == 0 {
-		interval = DefaultSnapshotInterval
-	}
+	interval := cfg.Experiment.EffectiveSnapshotInterval()
 	pcfg := cfg.Experiment.Pipeline
 	pcfg.ITREnabled = true
 	pcfg.ITR = cfg.Experiment.ITR
@@ -192,6 +202,9 @@ func RunCampaign(name string, prog *program.Program, cfg CampaignConfig) (Campai
 			defer wg.Done()
 			for i := range work {
 				details[i], errs[i] = runOne(prog, oracle, cfg.Experiment, injections[i], rc)
+				if cfg.Progress != nil {
+					cfg.Progress.Injections.Add(1)
+				}
 			}
 		}()
 	}

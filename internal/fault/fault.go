@@ -211,8 +211,23 @@ type Config struct {
 	// nearest snapshot before its fault point instead of re-simulating the
 	// shared prefix. 0 means DefaultSnapshotInterval; negative disables the
 	// fast path entirely (every run starts cold). Results are bit-identical
-	// either way.
+	// either way. EffectiveSnapshotInterval resolves the semantics.
 	SnapshotInterval int64
+}
+
+// EffectiveSnapshotInterval resolves the SnapshotInterval convention in one
+// place (flag help, campaign, and manifest all defer to it): zero maps to
+// DefaultSnapshotInterval, a negative value disables the fast path and
+// resolves to 0, and a positive value is used as-is.
+func (c Config) EffectiveSnapshotInterval() int64 {
+	switch {
+	case c.SnapshotInterval == 0:
+		return DefaultSnapshotInterval
+	case c.SnapshotInterval < 0:
+		return 0
+	default:
+		return c.SnapshotInterval
+	}
 }
 
 // DefaultConfig mirrors the paper's Section 4 setup (two-way 1024-signature

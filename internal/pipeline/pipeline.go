@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"itr/internal/checkpoint"
 	"itr/internal/core"
@@ -58,6 +59,25 @@ type Config struct {
 	// asserts that no instruction issued before its producers completed,
 	// and flushes on violation.
 	TACEnabled bool
+
+	// Probe, when non-nil, receives cross-run telemetry (cycles simulated,
+	// decode events, snapshot restores). One probe may be shared by many
+	// CPUs running concurrently; it never affects simulation results.
+	Probe *Probe
+}
+
+// Probe accumulates telemetry across pipeline runs. All fields are atomic,
+// so a single probe can be shared by every CPU of a campaign and read live
+// by a progress ticker. Counters are updated at run boundaries (end of each
+// Run/RunUntilDecode call and each Restore), not per cycle, so probing is
+// free on the hot path.
+type Probe struct {
+	// Cycles is the total number of cycles simulated.
+	Cycles atomic.Int64
+	// DecodeEvents is the total number of decode events observed.
+	DecodeEvents atomic.Int64
+	// SnapshotRestores counts Restore calls (campaign fast-forwards).
+	SnapshotRestores atomic.Int64
 }
 
 // CheckpointPolicy is the rule deciding when checkpoints are taken and when
@@ -462,8 +482,13 @@ func (c *CPU) Run(maxCycles int64) Result {
 // further Run/RunUntilDecode call continues exactly where this one stopped.
 func (c *CPU) RunUntilDecode(maxCycles, stopDecode int64) Result {
 	start := c.cycle
+	decodeStart := c.decodeEvents
 	for !c.terminated && c.cycle-start < maxCycles && (stopDecode < 0 || c.decodeEvents < stopDecode) {
 		c.stepCycle()
+	}
+	if p := c.cfg.Probe; p != nil {
+		p.Cycles.Add(c.cycle - start)
+		p.DecodeEvents.Add(c.decodeEvents - decodeStart)
 	}
 	term := c.termination
 	if !c.terminated {

@@ -172,6 +172,9 @@ func (c *CPU) Snapshot() *Snapshot {
 func (c *CPU) Restore(s *Snapshot) error {
 	want, have := s.cfg, c.cfg
 	want.ITRMode, have.ITRMode = 0, 0
+	// The probe is observability, not machine state: snapshots restore
+	// across CPUs wired to different (or no) probes.
+	want.Probe, have.Probe = nil, nil
 	if want != have {
 		return fmt.Errorf("pipeline: snapshot config %+v does not structurally match CPU config %+v", s.cfg, c.cfg)
 	}
@@ -241,6 +244,9 @@ func (c *CPU) Restore(s *Snapshot) error {
 
 	c.terminated = s.terminated
 	c.termination = s.termination
+	if p := c.cfg.Probe; p != nil {
+		p.SnapshotRestores.Add(1)
+	}
 	return nil
 }
 

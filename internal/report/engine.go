@@ -4,42 +4,59 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
-// workerCount holds the configured pool width; 0 means "use GOMAXPROCS".
-var workerCount atomic.Int32
-
-// SetWorkers sets the worker-pool width used by every report entry point
-// (sweeps, figures, tables). n <= 0 restores the default, GOMAXPROCS.
-// Output is deterministic regardless of the width: results are written into
-// index-addressed slots, so parallel runs are bit-identical to SetWorkers(1).
-func SetWorkers(n int) {
-	if n < 0 {
-		n = 0
-	}
-	workerCount.Store(int32(n))
+// Engine runs report entry points on an explicitly configured worker pool.
+// The zero value is ready to use: a full-width pool (GOMAXPROCS) with no
+// observer. Engines carry no mutable state, so one engine may serve many
+// concurrent callers and two engines never interfere — worker width is
+// per-engine configuration, not process-global.
+type Engine struct {
+	// Workers bounds the pool width; <= 0 means GOMAXPROCS. Output is
+	// deterministic regardless of the width: results are written into
+	// index-addressed slots, so parallel runs are bit-identical to
+	// Workers: 1.
+	Workers int
+	// OnItem, when non-nil, is invoked after each completed unit of work
+	// (one benchmark characterization, one sweep cell replay, one fault
+	// campaign) with a label — the benchmark name — and its wall-clock
+	// duration. It is called from pool goroutines concurrently, so it must
+	// be safe for concurrent use.
+	OnItem func(label string, elapsed time.Duration)
 }
 
-// Workers returns the effective worker-pool width.
-func Workers() int {
-	if n := int(workerCount.Load()); n > 0 {
-		return n
+// workers resolves the effective pool width.
+func (e *Engine) workers() int {
+	if e.Workers > 0 {
+		return e.Workers
 	}
 	return runtime.GOMAXPROCS(0)
 }
 
-// forEach runs fn(i) for every i in [0, n) on a pool of Workers() goroutines.
-// Work items are claimed from a shared atomic counter, so ordering of
-// *execution* is nondeterministic — callers must write results into slot i of
-// a pre-sized slice, never append. The returned error is the lowest-index
-// failure, making error selection deterministic too. With an effective width
-// of one the loop runs inline (no goroutines), which is also the fast path
-// for tiny n.
-func forEach(n int, fn func(i int) error) error {
+// item runs fn, reporting its duration to OnItem under the given label.
+func (e *Engine) item(label string, fn func() error) error {
+	if e.OnItem == nil {
+		return fn()
+	}
+	start := time.Now()
+	err := fn()
+	e.OnItem(label, time.Since(start))
+	return err
+}
+
+// forEach runs fn(i) for every i in [0, n) on a pool of workers()
+// goroutines. Work items are claimed from a shared atomic counter, so
+// ordering of *execution* is nondeterministic — callers must write results
+// into slot i of a pre-sized slice, never append. The returned error is the
+// lowest-index failure, making error selection deterministic too. With an
+// effective width of one the loop runs inline (no goroutines), which is
+// also the fast path for tiny n.
+func (e *Engine) forEach(n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
-	w := Workers()
+	w := e.workers()
 	if w > n {
 		w = n
 	}
@@ -75,3 +92,7 @@ func forEach(n int, fn func(i int) error) error {
 	}
 	return nil
 }
+
+// defaultEngine backs the package-level convenience wrappers: full-width
+// pool, no observer.
+var defaultEngine = &Engine{}

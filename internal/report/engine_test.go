@@ -3,7 +3,9 @@ package report
 import (
 	"errors"
 	"reflect"
+	"sync"
 	"testing"
+	"time"
 
 	"itr/internal/core"
 	"itr/internal/trace"
@@ -75,9 +77,9 @@ func TestReplayWarmLatch(t *testing.T) {
 // serial and parallel widths, and lowest-index error selection.
 func TestForEach(t *testing.T) {
 	for _, w := range []int{1, 4} {
-		SetWorkers(w)
+		eng := &Engine{Workers: w}
 		got := make([]int, 100)
-		if err := forEach(len(got), func(i int) error {
+		if err := eng.forEach(len(got), func(i int) error {
 			got[i] = i + 1
 			return nil
 		}); err != nil {
@@ -89,12 +91,10 @@ func TestForEach(t *testing.T) {
 			}
 		}
 	}
-	SetWorkers(0)
 
 	errA, errB := errors.New("a"), errors.New("b")
-	SetWorkers(4)
-	defer SetWorkers(0)
-	err := forEach(10, func(i int) error {
+	eng := &Engine{Workers: 4}
+	err := eng.forEach(10, func(i int) error {
 		switch i {
 		case 3:
 			return errB
@@ -108,29 +108,49 @@ func TestForEach(t *testing.T) {
 	}
 }
 
+// TestEngineOnItem verifies the per-item observer fires once per unit of
+// work with the benchmark label, at serial and parallel widths.
+func TestEngineOnItem(t *testing.T) {
+	profiles := small(t, "bzip", "art")
+	for _, w := range []int{1, 4} {
+		var mu sync.Mutex
+		counts := map[string]int{}
+		eng := &Engine{Workers: w, OnItem: func(label string, _ time.Duration) {
+			mu.Lock()
+			counts[label]++
+			mu.Unlock()
+		}}
+		if _, err := eng.PopularityFigure(profiles, 100, 500, testBudget); err != nil {
+			t.Fatal(err)
+		}
+		if counts["bzip"] != 1 || counts["art"] != 1 {
+			t.Fatalf("workers=%d: item counts %v, want one per benchmark", w, counts)
+		}
+	}
+}
+
 // TestSweepDeterministicAcrossWidths is the parallel-engine contract: the
 // sweep and the per-benchmark figures are bit-identical at any pool width.
 func TestSweepDeterministicAcrossWidths(t *testing.T) {
 	profiles := small(t, "bzip", "art")
 	configs := core.DesignSpace()[:6]
 
-	SetWorkers(1)
-	serialCells, err := CoverageSweepWarm(profiles, configs, testBudget, 1000)
+	serial := &Engine{Workers: 1}
+	serialCells, err := serial.CoverageSweepWarm(profiles, configs, testBudget, 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
-	serialPop, err := PopularityFigure(profiles, 100, 500, testBudget)
+	serialPop, err := serial.PopularityFigure(profiles, 100, 500, testBudget)
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	SetWorkers(4)
-	defer SetWorkers(0)
-	parCells, err := CoverageSweepWarm(profiles, configs, testBudget, 1000)
+	par := &Engine{Workers: 4}
+	parCells, err := par.CoverageSweepWarm(profiles, configs, testBudget, 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parPop, err := PopularityFigure(profiles, 100, 500, testBudget)
+	parPop, err := par.PopularityFigure(profiles, 100, 500, testBudget)
 	if err != nil {
 		t.Fatal(err)
 	}

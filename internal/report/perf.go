@@ -30,46 +30,53 @@ type PerfRow struct {
 
 // PerfComparison measures IPC for each protection scheme on the cycle-level
 // core over the given cycle budget per run.
-func PerfComparison(profiles []workload.Profile, cycles int64) ([]PerfRow, error) {
+func (e *Engine) PerfComparison(profiles []workload.Profile, cycles int64) ([]PerfRow, error) {
 	rows := make([]PerfRow, len(profiles))
-	err := forEach(len(profiles), func(i int) error {
+	err := e.forEach(len(profiles), func(i int) error {
 		p := profiles[i]
-		prog, err := workload.CachedProgram(p)
-		if err != nil {
-			return fmt.Errorf("%s: %w", p.Name, err)
-		}
-		row := PerfRow{Benchmark: p.Name}
-
-		measure := func(mutate func(*pipeline.Config)) (float64, error) {
-			cfg := pipeline.DefaultConfig()
-			cfg.ITREnabled = false
-			mutate(&cfg)
-			cpu, err := pipeline.New(prog, cfg)
+		return e.item(p.Name, func() error {
+			prog, err := workload.CachedProgram(p)
 			if err != nil {
-				return 0, err
+				return fmt.Errorf("%s: %w", p.Name, err)
 			}
-			return cpu.Run(cycles).IPC(), nil
-		}
+			row := PerfRow{Benchmark: p.Name}
 
-		if row.BaseIPC, err = measure(func(*pipeline.Config) {}); err != nil {
-			return err
-		}
-		if row.ITRIPC, err = measure(func(c *pipeline.Config) { c.ITREnabled = true }); err != nil {
-			return err
-		}
-		if row.DualDecodeIPC, err = measure(func(c *pipeline.Config) { c.Redundancy = pipeline.RedundancyDualDecode }); err != nil {
-			return err
-		}
-		if row.TimeRedundantIPC, err = measure(func(c *pipeline.Config) { c.Redundancy = pipeline.RedundancyTimeRedundant }); err != nil {
-			return err
-		}
-		rows[i] = row
-		return nil
+			measure := func(mutate func(*pipeline.Config)) (float64, error) {
+				cfg := pipeline.DefaultConfig()
+				cfg.ITREnabled = false
+				mutate(&cfg)
+				cpu, err := pipeline.New(prog, cfg)
+				if err != nil {
+					return 0, err
+				}
+				return cpu.Run(cycles).IPC(), nil
+			}
+
+			if row.BaseIPC, err = measure(func(*pipeline.Config) {}); err != nil {
+				return err
+			}
+			if row.ITRIPC, err = measure(func(c *pipeline.Config) { c.ITREnabled = true }); err != nil {
+				return err
+			}
+			if row.DualDecodeIPC, err = measure(func(c *pipeline.Config) { c.Redundancy = pipeline.RedundancyDualDecode }); err != nil {
+				return err
+			}
+			if row.TimeRedundantIPC, err = measure(func(c *pipeline.Config) { c.Redundancy = pipeline.RedundancyTimeRedundant }); err != nil {
+				return err
+			}
+			rows[i] = row
+			return nil
+		})
 	})
 	if err != nil {
 		return nil, err
 	}
 	return rows, nil
+}
+
+// PerfComparison runs on the default engine (full-width pool).
+func PerfComparison(profiles []workload.Profile, cycles int64) ([]PerfRow, error) {
+	return defaultEngine.PerfComparison(profiles, cycles)
 }
 
 // PerfTable renders the comparison with slowdown percentages.

@@ -42,16 +42,18 @@ func Characterization(p workload.Profile, budget int64) (*trace.Characterizer, e
 // Figure 2 (SPECfp, step 50 up to 500): one series per benchmark of the
 // cumulative percentage of dynamic instructions contributed by the top-k
 // static traces.
-func PopularityFigure(profiles []workload.Profile, step, limit int, budget int64) ([]stats.Series, error) {
+func (e *Engine) PopularityFigure(profiles []workload.Profile, step, limit int, budget int64) ([]stats.Series, error) {
 	series := make([]stats.Series, len(profiles))
-	err := forEach(len(profiles), func(i int) error {
+	err := e.forEach(len(profiles), func(i int) error {
 		p := profiles[i]
-		c, err := Characterization(p, budget)
-		if err != nil {
-			return fmt.Errorf("%s: %w", p.Name, err)
-		}
-		series[i] = stats.Series{Name: p.Name, Points: c.PopularityCDF(step, limit)}
-		return nil
+		return e.item(p.Name, func() error {
+			c, err := Characterization(p, budget)
+			if err != nil {
+				return fmt.Errorf("%s: %w", p.Name, err)
+			}
+			series[i] = stats.Series{Name: p.Name, Points: c.PopularityCDF(step, limit)}
+			return nil
+		})
 	})
 	if err != nil {
 		return nil, err
@@ -59,29 +61,41 @@ func PopularityFigure(profiles []workload.Profile, step, limit int, budget int64
 	return series, nil
 }
 
+// PopularityFigure runs on the default engine (full-width pool).
+func PopularityFigure(profiles []workload.Profile, step, limit int, budget int64) ([]stats.Series, error) {
+	return defaultEngine.PopularityFigure(profiles, step, limit, budget)
+}
+
 // DistanceFigure produces Figure 3 (SPECint) or Figure 4 (SPECfp): one
 // series per benchmark of the cumulative percentage of dynamic instructions
 // contributed by trace repetitions within each 500-instruction distance
 // bucket, up to 10000.
-func DistanceFigure(profiles []workload.Profile, budget int64) ([]stats.Series, error) {
+func (e *Engine) DistanceFigure(profiles []workload.Profile, budget int64) ([]stats.Series, error) {
 	series := make([]stats.Series, len(profiles))
-	err := forEach(len(profiles), func(i int) error {
+	err := e.forEach(len(profiles), func(i int) error {
 		p := profiles[i]
-		c, err := Characterization(p, budget)
-		if err != nil {
-			return fmt.Errorf("%s: %w", p.Name, err)
-		}
-		pts := make([]stats.Point, 0, 20)
-		for _, b := range c.DistanceBuckets(500, 10000) {
-			pts = append(pts, stats.Point{X: float64(b.UpperEdge), Y: b.CumulativePct})
-		}
-		series[i] = stats.Series{Name: p.Name, Points: pts}
-		return nil
+		return e.item(p.Name, func() error {
+			c, err := Characterization(p, budget)
+			if err != nil {
+				return fmt.Errorf("%s: %w", p.Name, err)
+			}
+			pts := make([]stats.Point, 0, 20)
+			for _, b := range c.DistanceBuckets(500, 10000) {
+				pts = append(pts, stats.Point{X: float64(b.UpperEdge), Y: b.CumulativePct})
+			}
+			series[i] = stats.Series{Name: p.Name, Points: pts}
+			return nil
+		})
 	})
 	if err != nil {
 		return nil, err
 	}
 	return series, nil
+}
+
+// DistanceFigure runs on the default engine (full-width pool).
+func DistanceFigure(profiles []workload.Profile, budget int64) ([]stats.Series, error) {
+	return defaultEngine.DistanceFigure(profiles, budget)
 }
 
 // Table1Row is one row of the paper's Table 1 reproduction.
@@ -93,27 +107,34 @@ type Table1Row struct {
 }
 
 // Table1 measures static trace counts for every benchmark.
-func Table1(budget int64) ([]Table1Row, error) {
+func (e *Engine) Table1(budget int64) ([]Table1Row, error) {
 	suite := workload.Suite()
 	rows := make([]Table1Row, len(suite))
-	err := forEach(len(suite), func(i int) error {
+	err := e.forEach(len(suite), func(i int) error {
 		p := suite[i]
-		c, err := Characterization(p, budget)
-		if err != nil {
-			return fmt.Errorf("%s: %w", p.Name, err)
-		}
-		rows[i] = Table1Row{
-			Benchmark: p.Name,
-			FP:        p.FP,
-			Measured:  c.StaticTraces(),
-			Paper:     p.StaticTraces,
-		}
-		return nil
+		return e.item(p.Name, func() error {
+			c, err := Characterization(p, budget)
+			if err != nil {
+				return fmt.Errorf("%s: %w", p.Name, err)
+			}
+			rows[i] = Table1Row{
+				Benchmark: p.Name,
+				FP:        p.FP,
+				Measured:  c.StaticTraces(),
+				Paper:     p.StaticTraces,
+			}
+			return nil
+		})
 	})
 	if err != nil {
 		return nil, err
 	}
 	return rows, nil
+}
+
+// Table1 runs on the default engine (full-width pool).
+func Table1(budget int64) ([]Table1Row, error) {
+	return defaultEngine.Table1(budget)
 }
 
 // CoverageCell is one (benchmark, configuration) point of Figures 6-7.
@@ -126,8 +147,13 @@ type CoverageCell struct {
 // CoverageSweep replays each benchmark's trace stream against every cache
 // configuration (the paper's Section 3 design-space exploration). The event
 // stream is generated once per benchmark and shared across configurations.
+func (e *Engine) CoverageSweep(profiles []workload.Profile, configs []core.Config, budget int64) ([]CoverageCell, error) {
+	return e.CoverageSweepWarm(profiles, configs, budget, 0)
+}
+
+// CoverageSweep runs on the default engine (full-width pool).
 func CoverageSweep(profiles []workload.Profile, configs []core.Config, budget int64) ([]CoverageCell, error) {
-	return CoverageSweepWarm(profiles, configs, budget, 0)
+	return defaultEngine.CoverageSweepWarm(profiles, configs, budget, 0)
 }
 
 // CoverageSweepWarm is CoverageSweep with a warm-up prefix: the first
@@ -139,37 +165,46 @@ func CoverageSweep(profiles []workload.Profile, configs []core.Config, budget in
 // generation per benchmark, then one replay per (benchmark, configuration)
 // cell — with results slotted by index, so the returned cell order (suite
 // order, then config order) and every value are identical to a serial run.
-func CoverageSweepWarm(profiles []workload.Profile, configs []core.Config, budget, warmupInsts int64) ([]CoverageCell, error) {
+func (e *Engine) CoverageSweepWarm(profiles []workload.Profile, configs []core.Config, budget, warmupInsts int64) ([]CoverageCell, error) {
 	streams := make([][]trace.Event, len(profiles))
-	err := forEach(len(profiles), func(pi int) error {
+	err := e.forEach(len(profiles), func(pi int) error {
 		p := profiles[pi]
-		events, err := workload.CachedEvents(p, p.ScaledBudget(budget)+warmupInsts)
-		if err != nil {
-			return fmt.Errorf("%s: %w", p.Name, err)
-		}
-		streams[pi] = events
-		return nil
+		return e.item(p.Name, func() error {
+			events, err := workload.CachedEvents(p, p.ScaledBudget(budget)+warmupInsts)
+			if err != nil {
+				return fmt.Errorf("%s: %w", p.Name, err)
+			}
+			streams[pi] = events
+			return nil
+		})
 	})
 	if err != nil {
 		return nil, err
 	}
 
 	cells := make([]CoverageCell, len(profiles)*len(configs))
-	err = forEach(len(cells), func(i int) error {
+	err = e.forEach(len(cells), func(i int) error {
 		pi, ci := i/len(configs), i%len(configs)
 		p, cfg := profiles[pi], configs[ci]
-		sim, err := core.NewCoverageSim(cfg)
-		if err != nil {
-			return fmt.Errorf("%s %s: %w", p.Name, cfg, err)
-		}
-		replayWarm(sim, streams[pi], warmupInsts)
-		cells[i] = CoverageCell{Benchmark: p.Name, Config: cfg, Result: sim.Result()}
-		return nil
+		return e.item(p.Name, func() error {
+			sim, err := core.NewCoverageSim(cfg)
+			if err != nil {
+				return fmt.Errorf("%s %s: %w", p.Name, cfg, err)
+			}
+			replayWarm(sim, streams[pi], warmupInsts)
+			cells[i] = CoverageCell{Benchmark: p.Name, Config: cfg, Result: sim.Result()}
+			return nil
+		})
 	})
 	if err != nil {
 		return nil, err
 	}
 	return cells, nil
+}
+
+// CoverageSweepWarm runs on the default engine (full-width pool).
+func CoverageSweepWarm(profiles []workload.Profile, configs []core.Config, budget, warmupInsts int64) ([]CoverageCell, error) {
+	return defaultEngine.CoverageSweepWarm(profiles, configs, budget, warmupInsts)
 }
 
 // replayWarm drives one coverage simulator over a shared (read-only) event
@@ -249,8 +284,8 @@ type Headline struct {
 }
 
 // HeadlineCoverage computes the Section 3 headline over all 16 benchmarks.
-func HeadlineCoverage(budget int64) (Headline, error) {
-	cells, err := CoverageSweep(workload.Suite(), []core.Config{core.DefaultConfig()}, budget)
+func (e *Engine) HeadlineCoverage(budget int64) (Headline, error) {
+	cells, err := e.CoverageSweep(workload.Suite(), []core.Config{core.DefaultConfig()}, budget)
 	if err != nil {
 		return Headline{}, err
 	}
@@ -273,6 +308,11 @@ func HeadlineCoverage(budget int64) (Headline, error) {
 	return h, nil
 }
 
+// HeadlineCoverage runs on the default engine (full-width pool).
+func HeadlineCoverage(budget int64) (Headline, error) {
+	return defaultEngine.HeadlineCoverage(budget)
+}
+
 // Figure8Row is one benchmark's fault-injection outcome breakdown.
 type Figure8Row struct {
 	Benchmark string
@@ -281,28 +321,38 @@ type Figure8Row struct {
 
 // Figure8 runs the Section 4 fault-injection campaign over the given
 // benchmarks (the paper uses the 11 coverage benchmarks plus an average).
-// Benchmarks fan out on the report worker pool; fault.RunCampaign has its own
-// per-injection pool (cfg.Workers), so campaigns that set Workers > 1 should
-// pair it with SetWorkers(1) — or vice versa — to avoid oversubscription.
-func Figure8(profiles []workload.Profile, cfg fault.CampaignConfig) ([]Figure8Row, error) {
+// Benchmarks fan out on the engine's pool; fault.RunCampaign has its own
+// per-injection pool (cfg.Workers), so campaigns that set cfg.Workers > 1
+// should pair it with an Engine{Workers: 1} — or vice versa — to avoid
+// oversubscription.
+func (e *Engine) Figure8(profiles []workload.Profile, cfg fault.CampaignConfig) ([]Figure8Row, error) {
 	rows := make([]Figure8Row, len(profiles))
-	err := forEach(len(profiles), func(i int) error {
+	err := e.forEach(len(profiles), func(i int) error {
 		p := profiles[i]
-		prog, err := workload.CachedProgram(p)
-		if err != nil {
-			return fmt.Errorf("%s: %w", p.Name, err)
-		}
-		res, err := fault.RunCampaign(p.Name, prog, cfg)
-		if err != nil {
-			return fmt.Errorf("%s: %w", p.Name, err)
-		}
-		rows[i] = Figure8Row{Benchmark: p.Name, Result: res}
-		return nil
+		return e.item(p.Name, func() error {
+			prog, err := workload.CachedProgram(p)
+			if err != nil {
+				return fmt.Errorf("%s: %w", p.Name, err)
+			}
+			res, err := fault.RunCampaign(p.Name, prog, cfg)
+			if err != nil {
+				return fmt.Errorf("%s: %w", p.Name, err)
+			}
+			rows[i] = Figure8Row{Benchmark: p.Name, Result: res}
+			return nil
+		})
 	})
 	if err != nil {
 		return nil, err
 	}
 	return rows, nil
+}
+
+// Figure8 runs on the default engine (full-width pool over benchmarks);
+// prefer an explicit Engine{Workers: 1} when cfg.Workers parallelizes the
+// injections instead.
+func Figure8(profiles []workload.Profile, cfg fault.CampaignConfig) ([]Figure8Row, error) {
+	return defaultEngine.Figure8(profiles, cfg)
 }
 
 // Figure8Table renders the outcome breakdown with one row per benchmark and
@@ -353,7 +403,7 @@ type Figure9Row struct {
 // given budget and linearly scaled to scaleInsts dynamic instructions
 // (pass 200e6 to match the paper's 200M-instruction windows; 0 disables
 // scaling).
-func Figure9(profiles []workload.Profile, budget, scaleInsts int64) ([]Figure9Row, error) {
+func (e *Engine) Figure9(profiles []workload.Profile, budget, scaleInsts int64) ([]Figure9Row, error) {
 	singleNJ, err := energy.AccessEnergyNJ(energy.ITRCacheSinglePort)
 	if err != nil {
 		return nil, err
@@ -368,39 +418,46 @@ func Figure9(profiles []workload.Profile, budget, scaleInsts int64) ([]Figure9Ro
 	}
 
 	rows := make([]Figure9Row, len(profiles))
-	err = forEach(len(profiles), func(i int) error {
+	err = e.forEach(len(profiles), func(i int) error {
 		p := profiles[i]
-		prog, err := workload.CachedProgram(p)
-		if err != nil {
-			return fmt.Errorf("%s: %w", p.Name, err)
-		}
-		events, executed := workload.EventsOf(prog, p.ScaledBudget(budget))
-		sim, err := core.NewCoverageSim(core.DefaultConfig())
-		if err != nil {
-			return err
-		}
-		for _, ev := range events {
-			sim.Access(ev)
-		}
-		res := sim.Result()
-		scale := 1.0
-		if scaleInsts > 0 && executed > 0 {
-			scale = float64(scaleInsts) / float64(executed)
-		}
-		itrAccesses := int64(float64(res.Reads+res.Writes) * scale)
-		iAccesses := int64(float64(energy.RedundantFetchAccesses(executed)) * scale)
-		rows[i] = Figure9Row{
-			Benchmark:      p.Name,
-			ITRSinglePort:  energy.EnergyMJ(itrAccesses, singleNJ),
-			ITRDualPort:    energy.EnergyMJ(itrAccesses, dualNJ),
-			ICacheRedFetch: energy.EnergyMJ(iAccesses, iNJ),
-		}
-		return nil
+		return e.item(p.Name, func() error {
+			prog, err := workload.CachedProgram(p)
+			if err != nil {
+				return fmt.Errorf("%s: %w", p.Name, err)
+			}
+			events, executed := workload.EventsOf(prog, p.ScaledBudget(budget))
+			sim, err := core.NewCoverageSim(core.DefaultConfig())
+			if err != nil {
+				return err
+			}
+			for _, ev := range events {
+				sim.Access(ev)
+			}
+			res := sim.Result()
+			scale := 1.0
+			if scaleInsts > 0 && executed > 0 {
+				scale = float64(scaleInsts) / float64(executed)
+			}
+			itrAccesses := int64(float64(res.Reads+res.Writes) * scale)
+			iAccesses := int64(float64(energy.RedundantFetchAccesses(executed)) * scale)
+			rows[i] = Figure9Row{
+				Benchmark:      p.Name,
+				ITRSinglePort:  energy.EnergyMJ(itrAccesses, singleNJ),
+				ITRDualPort:    energy.EnergyMJ(itrAccesses, dualNJ),
+				ICacheRedFetch: energy.EnergyMJ(iAccesses, iNJ),
+			}
+			return nil
+		})
 	})
 	if err != nil {
 		return nil, err
 	}
 	return rows, nil
+}
+
+// Figure9 runs on the default engine (full-width pool).
+func Figure9(profiles []workload.Profile, budget, scaleInsts int64) ([]Figure9Row, error) {
+	return defaultEngine.Figure9(profiles, budget, scaleInsts)
 }
 
 // Figure9Table renders the energy comparison.
