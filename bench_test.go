@@ -232,6 +232,75 @@ func BenchmarkFigure8Campaign(b *testing.B) { figure8CampaignBench(b, 0) }
 // bit-identical to the fast path.
 func BenchmarkFigure8CampaignCold(b *testing.B) { figure8CampaignBench(b, -1) }
 
+// snapshotBenchCPU builds a pipeline over a store loop striding across 64
+// memory pages and runs it to a mid-window point. The synthetic SPEC
+// workloads concentrate their data accesses in a single page, which would
+// hide the memory side of snapshot cost entirely; the stride loop gives
+// captures and restores a footprint where page handling is visible.
+func snapshotBenchCPU(b *testing.B) *pipeline.CPU {
+	b.Helper()
+	const pages = 64
+	pb := program.NewBuilder("stride")
+	pb.LoadImm64(2, 0xabcd)
+	pb.Label("outer")
+	pb.LoadImm64(1, 0)          // r1: store pointer
+	pb.LoadImm64(3, pages)      // r3: pages left this sweep
+	pb.Label("loop")
+	pb.Store(isa.OpSd, 2, 1, 0) // dirty the page under r1
+	pb.OpImm(isa.OpAddi, 1, 1, 4096)
+	pb.OpImm(isa.OpAddi, 3, 3, -1)
+	pb.Branch(isa.OpBne, 3, 0, "loop")
+	pb.Jump("outer")
+	pb.Halt() // unreachable; the run is budget-bound
+	prog, err := pb.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cpu, err := pipeline.New(prog, pipeline.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cpu.Run(30_000)
+	return cpu
+}
+
+// BenchmarkSnapshotCapture measures Snapshot() itself. Memory capture is
+// copy-on-write, so the cost is one page-table walk with zero page copies and
+// allocations scale with the machine-state side (ROB, predictors, ITR cache
+// lines), not the memory footprint.
+func BenchmarkSnapshotCapture(b *testing.B) {
+	cpu := snapshotBenchCPU(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var s *pipeline.Snapshot
+	for i := 0; i < b.N; i++ {
+		s = cpu.Snapshot()
+	}
+	b.ReportMetric(float64(s.MemPages()), "mem-pages")
+}
+
+// BenchmarkSnapshotRestore measures Restore() switching between two
+// snapshots of diverged machine states — the campaign's pattern of pointing
+// one worker CPU at successive resume points. Each restore adopts the
+// snapshot's pages by reference; no page contents are copied.
+func BenchmarkSnapshotRestore(b *testing.B) {
+	cpu := snapshotBenchCPU(b)
+	s1 := cpu.Snapshot()
+	cpu.Run(2_000) // diverge so the two snapshots differ
+	s2 := cpu.Snapshot()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := s1
+		if i&1 == 1 {
+			s = s2
+		}
+		if err := cpu.Restore(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkFigure9 regenerates Figure 9: ITR cache vs redundant I-cache
 // fetch energy, scaled to the paper's 200M-instruction windows.
 func BenchmarkFigure9(b *testing.B) {

@@ -302,6 +302,63 @@ func (c *Cache) CopyFrom(src *Cache) error {
 	return nil
 }
 
+// State is an immutable, flat capture of a cache's complete state: every line
+// (valid or not, preserving LRU ordering) in one contiguous array, plus the
+// scalar counters. Capturing costs a single allocation — unlike Clone, no
+// per-set slices and no map index are built for a copy that will never be
+// looked up. A State is never written through, so one state may be restored
+// into many caches concurrently.
+type State struct {
+	lines   []Line
+	assoc   int
+	numSets int
+	repl    Replacement
+	clock   uint64
+	stats   Stats
+}
+
+// CaptureState snapshots the cache's state into a single flat allocation.
+func (c *Cache) CaptureState() *State {
+	s := &State{
+		lines:   make([]Line, 0, c.assoc*c.numSets),
+		assoc:   c.assoc,
+		numSets: c.numSets,
+		repl:    c.repl,
+		clock:   c.clock,
+		stats:   c.stats,
+	}
+	for _, set := range c.sets {
+		s.lines = append(s.lines, set...)
+	}
+	return s
+}
+
+// RestoreState overwrites the cache's entire state with s, preserving c's
+// identity so existing references stay valid. The geometry and replacement
+// policy must match the cache the state was captured from.
+func (c *Cache) RestoreState(s *State) error {
+	if c.assoc != s.assoc || c.numSets != s.numSets || c.repl != s.repl {
+		return fmt.Errorf("cache: cannot restore %d-set/%d-way/repl-%d state into %d-set/%d-way/repl-%d cache",
+			s.numSets, s.assoc, s.repl, c.numSets, c.assoc, c.repl)
+	}
+	for i := range c.sets {
+		copy(c.sets[i], s.lines[i*c.assoc:(i+1)*c.assoc])
+	}
+	c.clock = s.clock
+	c.stats = s.stats
+	if c.index != nil {
+		clear(c.index)
+		for _, set := range c.sets {
+			for i := range set {
+				if set[i].Valid {
+					c.index[set[i].Key] = &set[i]
+				}
+			}
+		}
+	}
+	return nil
+}
+
 // Invalidate removes key if present, returning whether it was resident.
 // Invalidations do not count as evictions in the statistics (they model
 // recovery actions such as discarding a parity-faulty ITR line, Section 2.4).

@@ -53,6 +53,12 @@ type Manager struct {
 	undo   []wordWrite
 	commit int64 // committed instructions at checkpoint time
 
+	// undoShared marks undo's backing array as referenced by a captured
+	// State. Appends stay safe (captures are capacity-clamped, so growth is
+	// invisible to them), but a reset must drop the array instead of
+	// truncating in place, or later appends would overwrite the capture.
+	undoShared bool
+
 	stats Stats
 }
 
@@ -79,6 +85,18 @@ func (m *Manager) CommittedAt() int64 { return m.commit }
 // rollback).
 func (m *Manager) UndoLogLen() int { return len(m.undo) }
 
+// resetUndo empties the undo log. A backing array referenced by a captured
+// State is abandoned rather than truncated, so the capture stays immutable.
+func (m *Manager) resetUndo() {
+	if m.undoShared {
+		m.undo = nil
+		m.undoShared = false
+	} else {
+		m.undo = m.undo[:0]
+	}
+	m.seen = make(map[uint64]bool)
+}
+
 // Take establishes a new checkpoint at the current committed state,
 // discarding the previous one. committed is the committed-instruction count
 // at this point; rollback-safety policy (the paper's "no unchecked lines"
@@ -89,8 +107,7 @@ func (m *Manager) Take(committed int64) {
 	m.fregs = m.state.F
 	m.pc = m.state.PC
 	m.commit = committed
-	m.undo = m.undo[:0]
-	m.seen = make(map[uint64]bool)
+	m.resetUndo()
 	m.stats.Taken++
 }
 
@@ -126,8 +143,7 @@ func (m *Manager) Rollback() (restartPC uint64, ok bool) {
 	for i := len(m.undo) - 1; i >= 0; i-- {
 		m.mem.Store(m.undo[i].addr, 8, m.undo[i].old)
 	}
-	m.undo = m.undo[:0]
-	m.seen = make(map[uint64]bool)
+	m.resetUndo()
 	m.stats.Rollbacks++
 	return m.pc, true
 }
@@ -136,56 +152,58 @@ func (m *Manager) Rollback() (restartPC uint64, ok bool) {
 // checkpointed recovery).
 func (m *Manager) Invalidate() {
 	m.valid = false
-	m.undo = m.undo[:0]
-	m.seen = make(map[uint64]bool)
+	m.resetUndo()
 }
 
-// State is a deep, immutable capture of a Manager's mutable state (the active
-// checkpoint, undo log, and counters). It shares nothing with the manager, so
-// one state may be restored into many managers concurrently.
+// State is an immutable capture of a Manager's mutable state (the active
+// checkpoint, undo log, and counters). The undo log is shared copy-on-write
+// with the manager — the capture is capacity-clamped so the manager's later
+// appends never reach it, and the manager abandons (rather than truncates) a
+// shared backing array on reset. A State is never written through, so one
+// state may be restored into many managers concurrently.
 type State struct {
 	valid  bool
 	regs   [isa.NumRegs]uint64
 	fregs  [isa.NumRegs]uint64
 	pc     uint64
-	seen   map[uint64]bool
 	undo   []wordWrite
 	commit int64
 	stats  Stats
 }
 
-// CaptureState snapshots the manager's mutable state. The state/memory
-// bindings are identity, not state, and are not captured.
+// CaptureState snapshots the manager's mutable state in O(1): the undo log is
+// shared by reference (capacity-clamped), not copied, and the logged-word set
+// is not captured at all — it is always exactly the set of undo-log addresses,
+// so RestoreState rebuilds it. The state/memory bindings are identity, not
+// state, and are not captured.
 func (m *Manager) CaptureState() *State {
-	s := &State{
+	m.undoShared = len(m.undo) > 0
+	return &State{
 		valid:  m.valid,
 		regs:   m.regs,
 		fregs:  m.fregs,
 		pc:     m.pc,
-		seen:   make(map[uint64]bool, len(m.seen)),
-		undo:   make([]wordWrite, len(m.undo)),
+		undo:   m.undo[:len(m.undo):len(m.undo)],
 		commit: m.commit,
 		stats:  m.stats,
 	}
-	for k, v := range m.seen {
-		s.seen[k] = v
-	}
-	copy(s.undo, m.undo)
-	return s
 }
 
-// RestoreState overwrites the manager's mutable state with a deep copy of s,
-// preserving the manager's identity and its state/memory bindings.
+// RestoreState overwrites the manager's mutable state with s, preserving the
+// manager's identity and its state/memory bindings. The undo log is adopted
+// by reference (appends grow a fresh array; resets abandon the shared one)
+// and the logged-word set is rebuilt from the undo-log addresses.
 func (m *Manager) RestoreState(s *State) {
 	m.valid = s.valid
 	m.regs = s.regs
 	m.fregs = s.fregs
 	m.pc = s.pc
-	m.seen = make(map[uint64]bool, len(s.seen))
-	for k, v := range s.seen {
-		m.seen[k] = v
+	m.undo = s.undo
+	m.undoShared = len(s.undo) > 0
+	m.seen = make(map[uint64]bool, len(s.undo))
+	for _, w := range s.undo {
+		m.seen[w.addr] = true
 	}
-	m.undo = append(m.undo[:0], s.undo...)
 	m.commit = s.commit
 	m.stats = s.stats
 }

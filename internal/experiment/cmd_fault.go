@@ -86,14 +86,15 @@ func runFault(e *Engine) error {
 			}
 		}
 		fmt.Fprintf(w, "(%d campaigns in %v)\n", len(rows), time.Since(start).Round(time.Millisecond))
-		snaps, pages := 0, 0
+		snaps, pages, owned := 0, 0, 0
 		for _, r := range rows {
 			snaps += r.Result.Snapshots
 			pages += r.Result.SnapshotPages
+			owned += r.Result.SnapshotOwnedPages
 		}
 		if snaps > 0 {
-			fmt.Fprintf(w, "(snapshot fast-forward: %d pilot snapshots retained, %d memory pages ≈ %.1f MiB)\n",
-				snaps, pages, float64(pages)*4096/(1<<20))
+			fmt.Fprintf(w, "(snapshot fast-forward: %d pilot snapshots retained, %d page refs sharing %d distinct pages ≈ %.1f MiB resident, copy-on-write)\n",
+				snaps, pages, owned, float64(owned)*4096/(1<<20))
 		}
 		fmt.Fprintln(w, "(paper averages: 95.4% ITR-detected; ITR+Mask 59.4%, ITR+SDC+R 32%, ITR+wdog+R 3%,")
 		fmt.Fprintln(w, " ITR+SDC+D 1%, Undet+SDC 2.6%, Undet+Mask 1.8%, spc+SDC 0.1%, Undet+wdog 0.1%)")

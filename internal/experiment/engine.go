@@ -146,6 +146,10 @@ func (e *Engine) finish() {
 	t.CyclesSimulated = e.probe.Cycles.Load()
 	t.DecodeEvents = e.probe.DecodeEvents.Load()
 	t.SnapshotRestores = e.probe.SnapshotRestores.Load()
+	t.SnapshotCaptures = e.probe.SnapshotCaptures.Load()
+	t.SnapshotPagesShared = e.probe.SnapshotPagesShared.Load()
+	t.SnapshotPagesCopied = e.probe.SnapshotPagesCopied.Load()
+	t.SnapshotBytesCopied = e.probe.SnapshotBytesCopied.Load()
 	t.Injections = e.camp.Injections.Load()
 	if t.Injections > 0 && e.manifest.WallClockSeconds > 0 {
 		t.InjectionsPerSec = float64(t.Injections) / e.manifest.WallClockSeconds
@@ -216,6 +220,10 @@ func (e *Engine) startProgress() func() {
 				line := fmt.Sprintf("progress: %.0fs: %d cycles, %d decode events", elapsed, cycles, decodes)
 				if restores > 0 {
 					line += fmt.Sprintf(", %d restores", restores)
+				}
+				if captures := e.probe.SnapshotCaptures.Load(); captures > 0 {
+					line += fmt.Sprintf(", %d snapshots (%.1f MiB cow-copied)",
+						captures, float64(e.probe.SnapshotBytesCopied.Load())/(1<<20))
 				}
 				if inj > 0 {
 					line += fmt.Sprintf(", %d injections (%.1f/s)", inj, float64(inj)/elapsed)

@@ -32,11 +32,15 @@ func TestManifestGolden(t *testing.T) {
 			{Name: "art", Seconds: 2.3, Items: 1},
 		},
 		Telemetry: Telemetry{
-			CyclesSimulated:  1000,
-			DecodeEvents:     4000,
-			SnapshotRestores: 24,
-			Injections:       12,
-			InjectionsPerSec: 4.8,
+			CyclesSimulated:     1000,
+			DecodeEvents:        4000,
+			SnapshotRestores:    24,
+			SnapshotCaptures:    6,
+			SnapshotPagesShared: 5,
+			SnapshotPagesCopied: 3,
+			SnapshotBytesCopied: 12288,
+			Injections:          12,
+			InjectionsPerSec:    4.8,
 		},
 	}
 	got, err := json.MarshalIndent(m, "", "  ")
@@ -118,6 +122,12 @@ func TestEngineFaultRun(t *testing.T) {
 	}
 	if tl.CyclesSimulated <= 0 || tl.DecodeEvents <= 0 {
 		t.Errorf("pipeline telemetry empty: %+v", tl)
+	}
+	if tl.SnapshotCaptures <= 0 {
+		t.Errorf("snapshotCaptures = %d; want > 0 (pilot drops snapshots at the default interval)", tl.SnapshotCaptures)
+	}
+	if tl.SnapshotPagesCopied < 0 || tl.SnapshotBytesCopied != tl.SnapshotPagesCopied*4096 {
+		t.Errorf("COW telemetry inconsistent: %d pages, %d bytes", tl.SnapshotPagesCopied, tl.SnapshotBytesCopied)
 	}
 	if m.WallClockSeconds <= 0 {
 		t.Errorf("wallClockSeconds = %v; want > 0", m.WallClockSeconds)

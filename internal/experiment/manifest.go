@@ -66,6 +66,16 @@ type Telemetry struct {
 	DecodeEvents    int64 `json:"decodeEvents"`
 	// SnapshotRestores counts campaign fast-forward resumes.
 	SnapshotRestores int64 `json:"snapshotRestores"`
+	// SnapshotCaptures counts pilot snapshots taken. Snapshot memory is
+	// copy-on-write: each capture shares its unchanged pages with earlier
+	// captures (SnapshotPagesShared sums those per capture), and the write
+	// path copies a page only on the first store after a capture
+	// (SnapshotPagesCopied / SnapshotBytesCopied count that actual copying —
+	// the whole memory cost of the snapshot series beyond page-table walks).
+	SnapshotCaptures    int64 `json:"snapshotCaptures,omitempty"`
+	SnapshotPagesShared int64 `json:"snapshotPagesShared,omitempty"`
+	SnapshotPagesCopied int64 `json:"snapshotPagesCopied,omitempty"`
+	SnapshotBytesCopied int64 `json:"snapshotBytesCopied,omitempty"`
 	// Injections counts completed fault-injection experiments;
 	// InjectionsPerSec is Injections over the run's wall clock.
 	Injections       int64   `json:"injections,omitempty"`

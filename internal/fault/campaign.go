@@ -64,11 +64,16 @@ type CampaignResult struct {
 	CheckpointRecovered int
 	// Snapshots is the number of pilot snapshots retained for fast-forward
 	// (after pruning to the ones some injection actually resumes from);
-	// SnapshotPages is their total memory-image size in pages, the dominant
-	// memory cost of the fast path. Both are zero on the cold path.
-	Snapshots     int
-	SnapshotPages int
-	Details       []Detail
+	// SnapshotPages is the total page count they reference. Snapshot memory
+	// is captured copy-on-write, so consecutive snapshots share unchanged
+	// pages by reference and SnapshotPages counts a shared page once per
+	// snapshot referencing it; SnapshotOwnedPages counts each distinct page
+	// once — the series' actual resident footprint, which page sharing cuts
+	// from SnapshotPages by the reuse factor. All are zero on the cold path.
+	Snapshots          int
+	SnapshotPages      int
+	SnapshotOwnedPages int
+	Details            []Detail
 }
 
 // Pct returns the percentage of injections in category c.
@@ -177,9 +182,12 @@ func RunCampaign(name string, prog *program.Program, cfg CampaignConfig) (Campai
 			}
 			rc = &replayContext{snaps: kept, stream: stream}
 			res.Snapshots = len(kept)
+			distinct := make(map[uint64]struct{})
 			for _, s := range kept {
 				res.SnapshotPages += s.MemPages()
+				s.VisitMemPages(func(id uint64) { distinct[id] = struct{}{} })
 			}
+			res.SnapshotOwnedPages = len(distinct)
 		}
 	}
 

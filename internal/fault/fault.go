@@ -151,14 +151,17 @@ func newGolden(prog *program.Program) *golden {
 }
 
 // checkpoint mirrors the pipeline's checkpoint lifecycle: snapshot the
-// reference on take, restore it on rollback.
+// reference on take, restore it on rollback. Both sides ride the memory's
+// copy-on-write machinery — capture shares pages by reference and rollback
+// reverts only pages the reference dirtied since — so checkpointed verify
+// runs no longer deep-copy the whole reference footprint per window.
 func (g *golden) checkpoint(taken bool) {
 	if taken {
 		g.snapValid = true
 		g.snapR = g.st.R
 		g.snapF = g.st.F
 		g.snapPC = g.st.PC
-		g.snapMem = g.mem.Clone()
+		g.snapMem = g.mem.Snapshot()
 		g.snapDiverged = g.diverged
 		return
 	}
@@ -168,8 +171,7 @@ func (g *golden) checkpoint(taken bool) {
 	g.st.R = g.snapR
 	g.st.F = g.snapF
 	g.st.PC = g.snapPC
-	g.mem = g.snapMem.Clone()
-	g.st.Mem = g.mem
+	g.mem.CopyFrom(g.snapMem)
 	g.diverged = g.snapDiverged
 }
 

@@ -63,6 +63,17 @@ func TestCampaignSnapshotFastPathBitIdentical(t *testing.T) {
 			if wres.Snapshots == 0 || wres.SnapshotPages == 0 {
 				t.Fatalf("fast path took no snapshots: %d (%d pages)", wres.Snapshots, wres.SnapshotPages)
 			}
+			// COW sharing: the series references at least as many pages as
+			// it distinctly holds, and every retained snapshot past the
+			// first shares its predecessor's unchanged pages.
+			if wres.SnapshotOwnedPages == 0 || wres.SnapshotOwnedPages > wres.SnapshotPages {
+				t.Fatalf("snapshot footprint inconsistent: %d referenced, %d distinct",
+					wres.SnapshotPages, wres.SnapshotOwnedPages)
+			}
+			if wres.Snapshots > 1 && wres.SnapshotOwnedPages == wres.SnapshotPages {
+				t.Fatalf("%d snapshots share no pages (%d referenced, %d distinct)",
+					wres.Snapshots, wres.SnapshotPages, wres.SnapshotOwnedPages)
+			}
 		})
 	}
 }

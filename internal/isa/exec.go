@@ -5,117 +5,15 @@ import (
 	"math"
 )
 
-const (
-	pageWords = 512 // 4 KiB pages of 8-byte words
-	pageShift = 12
-	pageMask  = (1 << pageShift) - 1
-)
-
 // MemBus is the data-memory interface the executor reads and writes through.
 // The pipeline substitutes a speculative store-buffer overlay; plain
-// functional execution uses *Memory directly.
+// functional execution uses *Memory directly (see mem.go for the paged
+// copy-on-write store behind it).
 type MemBus interface {
 	// Load reads size bytes (1, 2, 4 or 8) at addr, zero-extended.
 	Load(addr uint64, size uint8) uint64
 	// Store writes size bytes (1, 2, 4 or 8) of v at addr.
 	Store(addr uint64, size uint8, v uint64)
-}
-
-// Memory is a sparse, byte-addressable data memory backed by 4 KiB pages of
-// 64-bit words. The zero value is not usable; call NewMemory.
-type Memory struct {
-	pages map[uint64]*[pageWords]uint64
-}
-
-var _ MemBus = (*Memory)(nil)
-
-// NewMemory returns an empty memory. All bytes read as zero until written.
-func NewMemory() *Memory {
-	return &Memory{pages: make(map[uint64]*[pageWords]uint64)}
-}
-
-func (m *Memory) word(addr uint64, alloc bool) *uint64 {
-	pageID := addr >> pageShift
-	page, ok := m.pages[pageID]
-	if !ok {
-		if !alloc {
-			return nil
-		}
-		page = new([pageWords]uint64)
-		m.pages[pageID] = page
-	}
-	return &page[(addr&pageMask)>>3]
-}
-
-// Load reads size bytes (1, 2, 4 or 8) at addr, little-endian, zero-extended.
-// Accesses are aligned down to the access size.
-func (m *Memory) Load(addr uint64, size uint8) uint64 {
-	if size == 0 {
-		return 0
-	}
-	addr &^= uint64(size) - 1
-	w := m.word(addr, false)
-	if w == nil {
-		return 0
-	}
-	shift := (addr & 7) * 8
-	switch size {
-	case 1:
-		return (*w >> shift) & 0xff
-	case 2:
-		return (*w >> shift) & 0xffff
-	case 4:
-		return (*w >> shift) & 0xffffffff
-	default:
-		return *w
-	}
-}
-
-// Store writes size bytes (1, 2, 4 or 8) of v at addr, little-endian.
-// Accesses are aligned down to the access size.
-func (m *Memory) Store(addr uint64, size uint8, v uint64) {
-	if size == 0 {
-		return
-	}
-	addr &^= uint64(size) - 1
-	w := m.word(addr, true)
-	shift := (addr & 7) * 8
-	switch size {
-	case 1:
-		*w = *w&^(uint64(0xff)<<shift) | (v&0xff)<<shift
-	case 2:
-		*w = *w&^(uint64(0xffff)<<shift) | (v&0xffff)<<shift
-	case 4:
-		*w = *w&^(uint64(0xffffffff)<<shift) | (v&0xffffffff)<<shift
-	default:
-		*w = v
-	}
-}
-
-// NumPages returns how many distinct pages have been touched by stores.
-func (m *Memory) NumPages() int { return len(m.pages) }
-
-// Clone returns a deep copy of the memory (used to seed golden/faulty pairs
-// with identical initial state).
-func (m *Memory) Clone() *Memory {
-	c := NewMemory()
-	for id, page := range m.pages {
-		cp := *page
-		c.pages[id] = &cp
-	}
-	return c
-}
-
-// CopyFrom overwrites the memory's entire contents with a deep copy of src,
-// preserving m's identity so aliases (ArchState.Mem, store overlays,
-// checkpoint managers) stay valid. src is only read; one snapshot memory may
-// be restored into any number of memories concurrently.
-func (m *Memory) CopyFrom(src *Memory) {
-	m.pages = make(map[uint64]*[pageWords]uint64, len(src.pages))
-	for id, page := range src.pages {
-		cp := *page
-		m.pages[id] = &cp
-	}
 }
 
 // ArchState is the architectural state of the machine: two 32-entry register

@@ -78,6 +78,19 @@ type Probe struct {
 	DecodeEvents atomic.Int64
 	// SnapshotRestores counts Restore calls (campaign fast-forwards).
 	SnapshotRestores atomic.Int64
+	// SnapshotCaptures counts Snapshot calls (pilot snapshot series).
+	SnapshotCaptures atomic.Int64
+	// SnapshotPagesShared counts memory pages captured by reference at
+	// snapshot boundaries — pages a pre-COW deep copy would have duplicated.
+	SnapshotPagesShared atomic.Int64
+	// SnapshotPagesCopied counts memory pages physically copied by the
+	// copy-on-write write path (first store to a page shared with a
+	// snapshot); SnapshotBytesCopied is the same in bytes. Together they are
+	// the total page-copying work the snapshot machinery actually performed,
+	// which scales with pages dirtied between boundaries rather than with
+	// the benchmark's whole footprint.
+	SnapshotPagesCopied atomic.Int64
+	SnapshotBytesCopied atomic.Int64
 }
 
 // CheckpointPolicy is the rule deciding when checkpoints are taken and when
@@ -331,6 +344,10 @@ type CPU struct {
 
 	terminated  bool
 	termination Termination
+
+	// memCopiedSeen is the memory's lifetime COW page-copy count already
+	// published to the probe; run boundaries publish the delta.
+	memCopiedSeen int64
 }
 
 // New builds a CPU over prog with the given configuration.
@@ -489,6 +506,7 @@ func (c *CPU) RunUntilDecode(maxCycles, stopDecode int64) Result {
 	if p := c.cfg.Probe; p != nil {
 		p.Cycles.Add(c.cycle - start)
 		p.DecodeEvents.Add(c.decodeEvents - decodeStart)
+		c.publishCowCopies(p)
 	}
 	term := c.termination
 	if !c.terminated {

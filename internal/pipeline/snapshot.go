@@ -18,9 +18,11 @@ import (
 // the resumed machine's trajectory is indistinguishable from one that ran
 // from cycle 0.
 //
-// Snapshots share nothing with the CPU that produced them, so one snapshot
-// may be restored into many CPUs concurrently (the fault campaign's worker
-// pool does exactly this).
+// Snapshots share no mutable state with the CPU that produced them: memory
+// pages are shared copy-on-write (the producing CPU copies a page before its
+// first post-capture store to it), everything else is deep-copied. One
+// snapshot may therefore be restored into many CPUs concurrently (the fault
+// campaign's worker pool does exactly this).
 type Snapshot struct {
 	// Cycle is the cycle count at capture.
 	Cycle int64
@@ -80,12 +82,48 @@ type Snapshot struct {
 	termination Termination
 }
 
-// MemPages returns the number of memory pages held by the snapshot (its
-// dominant memory cost; campaign footprint reporting sums this).
+// MemPages returns the number of memory pages the snapshot references.
+// Memory capture is copy-on-write, so most of these are shared by reference
+// with earlier snapshots of the same machine (and with the live memory until
+// it overwrites them); only MemOwnedPages of them were first materialized by
+// this snapshot. Summing MemPages over a snapshot series therefore counts
+// shared pages once per snapshot; summing MemOwnedPages approximates the
+// series' resident footprint.
 func (s *Snapshot) MemPages() int { return s.mem.NumPages() }
+
+// MemOwnedPages returns the number of memory pages first captured by this
+// snapshot: the pages dirtied since the previous snapshot of the same
+// machine (for the first snapshot, the whole footprint). The remaining
+// MemPages - MemOwnedPages pages are held by reference only.
+func (s *Snapshot) MemOwnedPages() int { return s.mem.OwnedPages() }
+
+// VisitMemPages calls fn with the ID of every memory page the snapshot
+// references (campaign footprint reporting deduplicates page IDs across a
+// snapshot series with it). Order is unspecified.
+func (s *Snapshot) VisitMemPages(fn func(pageID uint64)) {
+	s.mem.VisitPages(func(id uint64, _ []uint64) { fn(id) })
+}
+
+// publishCowCopies publishes the memory's not-yet-reported copy-on-write
+// page copies to the probe. Called at run boundaries and around
+// snapshot/restore, so COW accounting stays off the per-store hot path.
+func (c *CPU) publishCowCopies(p *Probe) {
+	if n := c.mem.CopiedPages(); n > c.memCopiedSeen {
+		delta := n - c.memCopiedSeen
+		c.memCopiedSeen = n
+		p.SnapshotPagesCopied.Add(delta)
+		p.SnapshotBytesCopied.Add(delta * isa.PageBytes)
+	}
+}
 
 // Snapshot captures the CPU's complete mutable state. Call it only between
 // cycles (i.e. outside stepCycle — after Run/RunUntilDecode returns).
+//
+// Memory is captured copy-on-write: the snapshot adopts the CPU's page table
+// by reference (no page copies), and the CPU's next store to any captured
+// page copies it first. Capture cost is therefore O(page-table), and the
+// copying the machine pays afterwards scales with the pages it actually
+// dirties before the next boundary, not with its whole footprint.
 func (c *CPU) Snapshot() *Snapshot {
 	s := &Snapshot{
 		Cycle:        c.cycle,
@@ -94,7 +132,7 @@ func (c *CPU) Snapshot() *Snapshot {
 
 		cfg: c.cfg,
 
-		mem:   c.mem.Clone(),
+		mem:   c.mem.Snapshot(),
 		regsR: c.committed.R,
 		regsF: c.committed.F,
 		pc:    c.committed.PC,
@@ -159,13 +197,22 @@ func (c *CPU) Snapshot() *Snapshot {
 	if c.ckpt != nil {
 		s.ckpt = c.ckpt.CaptureState()
 	}
+	if p := c.cfg.Probe; p != nil {
+		p.SnapshotCaptures.Add(1)
+		p.SnapshotPagesShared.Add(int64(s.mem.SharedPages()))
+		c.publishCowCopies(p)
+	}
 	return s
 }
 
-// Restore overwrites the CPU's mutable state with a deep copy of the
-// snapshot, preserving the CPU's identity: its memory, checker cache, and
-// checkpoint-manager pointers stay valid, and installed hooks/observers are
-// untouched. The CPU's configuration must structurally match the snapshot's;
+// Restore overwrites the CPU's mutable state with the snapshot's, preserving
+// the CPU's identity: its memory, checker cache, and checkpoint-manager
+// pointers stay valid, and installed hooks/observers are untouched. Memory
+// is adopted copy-on-write — pages are shared by reference and the CPU
+// copies a page on its first store to it — so restore cost scales with the
+// pages the CPU had dirtied since its last synchronization with this
+// snapshot (for a fresh CPU: one page-table walk, zero page copies), not
+// with the benchmark's footprint. The CPU's configuration must structurally match the snapshot's;
 // only ITRMode may differ — mode is policy, not state, and fault-free
 // trajectories are identical across modes. The snapshot is only read, so one
 // snapshot may be restored into many CPUs concurrently.
@@ -246,6 +293,7 @@ func (c *CPU) Restore(s *Snapshot) error {
 	c.termination = s.termination
 	if p := c.cfg.Probe; p != nil {
 		p.SnapshotRestores.Add(1)
+		c.publishCowCopies(p)
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"reflect"
+	"sync"
 	"testing"
 
 	"itr/internal/core"
@@ -147,6 +148,84 @@ func TestSnapshotResumeWithFault(t *testing.T) {
 	}
 	if !reflect.DeepEqual(cold.Checker().Detections(), warm.Checker().Detections()) {
 		t.Fatal("detections differ between cold run and snapshot resume")
+	}
+}
+
+// snapMemHash folds a snapshot's entire memory view into one value,
+// order-independently (pages are visited in map order): per-page FNV-1a over
+// the page ID and words, XOR-combined across pages.
+func snapMemHash(s *Snapshot) uint64 {
+	var h uint64
+	s.mem.VisitPages(func(id uint64, words []uint64) {
+		ph := uint64(1469598103934665603)
+		mix := func(v uint64) {
+			for i := 0; i < 8; i++ {
+				ph ^= (v >> (8 * i)) & 0xff
+				ph *= 1099511628211
+			}
+		}
+		mix(id)
+		for _, w := range words {
+			mix(w)
+		}
+		h ^= ph
+	})
+	return h
+}
+
+// TestSnapshotConcurrentRestoreImmutable models the fault campaign's sharing
+// pattern: one pilot snapshot is restored into many CPUs concurrently, each
+// diverging under a different injected fault and storing into pages it shares
+// copy-on-write with the snapshot, while the pilot machine itself keeps
+// running past the capture point. The snapshot's memory view must come out
+// bit-identical, and under -race this proves concurrent restores never touch
+// shared pages unsynchronized.
+func TestSnapshotConcurrentRestoreImmutable(t *testing.T) {
+	p := loopProgram(t, 60, 40)
+	cfg := DefaultConfig()
+	cfg.ITRMode = core.ModeObserve
+	const budget = 40_000
+
+	pilot, err := New(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pilot.RunUntilDecode(budget, 5_000)
+	snap := pilot.Snapshot()
+	before := snapMemHash(snap)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cpu, err := New(p, cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := cpu.Restore(snap); err != nil {
+				t.Errorf("worker %d: %v", w, err)
+				return
+			}
+			faultAt := snap.DecodeEvents + int64(100+13*w)
+			done := false
+			cpu.SetFaultHook(func(i int64, pc uint64, wrongPath bool, d isa.DecodeSignals) isa.DecodeSignals {
+				if !done && i == faultAt {
+					done = true
+					return d.FlipBit(w % isa.SignalBits)
+				}
+				return d
+			})
+			cpu.Run(budget - snap.Cycle)
+		}(w)
+	}
+	// The capturing machine keeps dirtying pages it shares with the snapshot.
+	pilot.Run(budget - pilot.CycleCount())
+	wg.Wait()
+
+	if after := snapMemHash(snap); after != before {
+		t.Fatalf("snapshot memory changed under concurrent restores: hash %#x -> %#x", before, after)
 	}
 }
 
