@@ -5,11 +5,20 @@
 //
 // Associativity spans the full design space of the paper's Section 3:
 // direct-mapped, 2/4/8/16-way, and fully associative.
+//
+// The engine is the inner loop of the design-space sweep (tens of millions
+// of lookups per figure), so its layout is chosen for simulation speed, not
+// hardware fidelity: all lines live in one flat array (stable pointers, one
+// allocation), tag scans run over a separate compact key array (8 bytes per
+// way instead of a full Line), and high-associativity sets — where a linear
+// scan would be O(entries) — carry a map index plus an intrusive LRU list
+// giving O(1) lookup and O(1) victim selection.
 package cache
 
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 )
 
 // Replacement selects a victim line within a set.
@@ -65,19 +74,36 @@ type Stats struct {
 // Cache is a set-associative cache. Use New to construct one; the zero value
 // is not usable.
 type Cache struct {
-	sets    [][]Line
+	// lines holds every line of every set contiguously: set s occupies
+	// lines[s*assoc : (s+1)*assoc]. The array is allocated once in New and
+	// never resized, so *Line pointers handed to callers stay valid until
+	// the line is evicted.
+	lines []Line
+	// keys mirrors lines' Key fields for the tag scan: comparing 8-byte
+	// keys touches an eighth of the memory a scan over whole Lines would.
+	// A slot's key may be stale after an invalidation, so a key match is
+	// confirmed against the Line before it counts.
+	keys    []uint64
 	assoc   int
 	numSets int
 	setMask uint64
 	clock   uint64
 	repl    Replacement
 	stats   Stats
-	// index accelerates key lookup for high-associativity sets, where a
-	// linear way scan (fine in hardware, O(assoc) here) dominates simulation
-	// time. Line pointers are stable: sets are allocated once in New and
-	// never resized. nil for low associativities, where the scan is faster
-	// than a map operation.
-	index map[uint64]*Line
+	// fill counts valid lines per set; steady-state inserts skip the
+	// free-way scan entirely once a set is full.
+	fill []int32
+	// idx accelerates key lookup for high-associativity sets, where a
+	// linear way scan (fine in hardware, O(assoc) here) dominates
+	// simulation time. nil for low associativities, where the scan's
+	// cache-friendly compare loop beats a hashed map access.
+	idx map[uint64]int32
+	// prev/next/heads/tails form an intrusive LRU list per set (most
+	// recent at head, least recent at tail), maintained only alongside
+	// idx: victim selection in an indexed set is O(1) instead of an
+	// O(assoc) minimum-stamp scan per eviction.
+	prev, next   []int32
+	heads, tails []int32
 }
 
 // indexedAssocMin is the associativity at which Lookup/Probe switch from a
@@ -107,17 +133,23 @@ func New(entries, assoc int, repl Replacement) (*Cache, error) {
 	}
 	numSets := entries / assoc
 	c := &Cache{
-		sets:    make([][]Line, numSets),
+		lines:   make([]Line, entries),
+		keys:    make([]uint64, entries),
 		assoc:   assoc,
 		numSets: numSets,
 		setMask: uint64(numSets - 1),
 		repl:    repl,
-	}
-	for i := range c.sets {
-		c.sets[i] = make([]Line, assoc)
+		fill:    make([]int32, numSets),
 	}
 	if assoc >= indexedAssocMin {
-		c.index = make(map[uint64]*Line, entries)
+		c.idx = make(map[uint64]int32, entries)
+		c.prev = make([]int32, entries)
+		c.next = make([]int32, entries)
+		c.heads = make([]int32, numSets)
+		c.tails = make([]int32, numSets)
+		for i := range c.heads {
+			c.heads[i], c.tails[i] = -1, -1
+		}
 	}
 	return c, nil
 }
@@ -151,15 +183,95 @@ func (c *Cache) ResetStats() { c.stats = Stats{} }
 // indexes), so low bits index directly as in a hardware PC-indexed structure.
 func (c *Cache) setIndex(key uint64) uint64 { return key & c.setMask }
 
+// ---- intrusive LRU list (indexed sets only) ----
+
+// unlink removes line i from its set's LRU list.
+func (c *Cache) unlink(i int32, set int) {
+	p, n := c.prev[i], c.next[i]
+	if p >= 0 {
+		c.next[p] = n
+	} else {
+		c.heads[set] = n
+	}
+	if n >= 0 {
+		c.prev[n] = p
+	} else {
+		c.tails[set] = p
+	}
+}
+
+// pushFront makes line i the most recently used of its set.
+func (c *Cache) pushFront(i int32, set int) {
+	h := c.heads[set]
+	c.prev[i], c.next[i] = -1, h
+	if h >= 0 {
+		c.prev[h] = i
+	} else {
+		c.tails[set] = i
+	}
+	c.heads[set] = i
+}
+
+// touch moves an already-listed line to the front of its set's LRU list.
+func (c *Cache) touch(i int32, set int) {
+	if c.heads[set] == i {
+		return
+	}
+	c.unlink(i, set)
+	c.pushFront(i, set)
+}
+
+// rebuildAux reconstructs keys, fill and — for indexed caches — the map
+// index and LRU lists from the line array. Used by the (cold) restore paths;
+// LRU stamps are the durable representation of recency, and the lists are
+// re-derived from them.
+func (c *Cache) rebuildAux() {
+	for i := range c.fill {
+		c.fill[i] = 0
+	}
+	for i := range c.lines {
+		if c.lines[i].Valid {
+			c.keys[i] = c.lines[i].Key
+			c.fill[i/c.assoc]++
+		} else {
+			c.keys[i] = 0
+		}
+	}
+	if c.idx == nil {
+		return
+	}
+	clear(c.idx)
+	for i := range c.heads {
+		c.heads[i], c.tails[i] = -1, -1
+	}
+	valid := make([]int32, 0, len(c.lines))
+	for i := range c.lines {
+		if c.lines[i].Valid {
+			c.idx[c.lines[i].Key] = int32(i)
+			valid = append(valid, int32(i))
+		}
+	}
+	// Oldest first, so successive pushFront calls leave the most recently
+	// used line at the head — the order victim selection depends on.
+	sort.Slice(valid, func(a, b int) bool { return c.lines[valid[a]].lru < c.lines[valid[b]].lru })
+	for _, i := range valid {
+		c.pushFront(i, int(i)/c.assoc)
+	}
+}
+
 // Lookup finds key, updating LRU state and the Referenced flag on a hit.
 // The returned pointer stays valid until the line is evicted; callers may
 // update Value/Checked/Parity/Aux through it.
 func (c *Cache) Lookup(key uint64) (*Line, bool) {
-	if ln := c.find(key); ln != nil {
+	if i := c.find(key); i >= 0 {
 		c.clock++
+		ln := &c.lines[i]
 		ln.lru = c.clock
 		ln.Referenced = true
 		c.stats.Hits++
+		if c.idx != nil {
+			c.touch(i, int(i)/c.assoc)
+		}
 		return ln, true
 	}
 	c.stats.Misses++
@@ -168,94 +280,130 @@ func (c *Cache) Lookup(key uint64) (*Line, bool) {
 
 // Probe finds key without updating LRU, Referenced, or statistics.
 func (c *Cache) Probe(key uint64) (*Line, bool) {
-	if ln := c.find(key); ln != nil {
-		return ln, true
+	if i := c.find(key); i >= 0 {
+		return &c.lines[i], true
 	}
 	return nil, false
 }
 
-// find returns the valid line holding key, or nil.
-func (c *Cache) find(key uint64) *Line {
-	if c.index != nil {
-		if ln, ok := c.index[key]; ok {
-			return ln
+// find returns the index of the valid line holding key, or -1.
+func (c *Cache) find(key uint64) int32 {
+	if c.idx != nil {
+		if i, ok := c.idx[key]; ok {
+			return i
 		}
-		return nil
+		return -1
 	}
-	set := c.sets[c.setIndex(key)]
-	for i := range set {
-		ln := &set[i]
-		if ln.Valid && ln.Key == key {
-			return ln
+	base := int(c.setIndex(key)) * c.assoc
+	for i := base; i < base+c.assoc; i++ {
+		// The key slot can be stale after an invalidation, so confirm
+		// against the line before counting the match.
+		if c.keys[i] == key && c.lines[i].Valid && c.lines[i].Key == key {
+			return int32(i)
 		}
 	}
-	return nil
+	return -1
 }
 
 // Insert installs (key, value), evicting a victim if the set is full. It
 // returns the evicted line (Valid == true) if an eviction occurred. If key is
 // already present its line is overwritten in place (no eviction).
 func (c *Cache) Insert(key, value uint64) (evicted Line, wasEvicted bool) {
+	_, evicted, wasEvicted = c.InsertGet(key, value)
+	return evicted, wasEvicted
+}
+
+// InsertGet is Insert returning the installed line as well, so callers that
+// decorate fresh lines (Aux, Stamp, Parity, Checked) do not pay a second
+// lookup — the miss path of the coverage sweep calls this once per miss
+// instead of Insert plus Probe.
+func (c *Cache) InsertGet(key, value uint64) (ln *Line, evicted Line, wasEvicted bool) {
 	c.stats.Inserts++
 	c.clock++
-	si := c.setIndex(key)
-	set := c.sets[si]
-
-	if ln, ok := c.Probe(key); ok {
+	if i := c.find(key); i >= 0 {
+		ln = &c.lines[i]
 		ln.Value = value
 		ln.lru = c.clock
-		return Line{}, false
+		if c.idx != nil {
+			c.touch(i, int(i)/c.assoc)
+		}
+		return ln, Line{}, false
 	}
 
+	si := int(c.setIndex(key))
+	base := si * c.assoc
 	victim := -1
-	for i := range set {
-		if !set[i].Valid {
-			victim = i
-			break
+	if int(c.fill[si]) < c.assoc {
+		for i := base; i < base+c.assoc; i++ {
+			if !c.lines[i].Valid {
+				victim = i
+				break
+			}
 		}
 	}
 	if victim < 0 {
-		victim = c.pickVictim(set)
-		evicted = set[victim]
+		victim = c.pickVictim(si)
+		ev := &c.lines[victim]
+		evicted = *ev
 		wasEvicted = true
 		c.stats.Evictions++
 		if !evicted.Referenced {
 			c.stats.EvictionsUnreferenced++
 		}
-		if c.index != nil {
-			delete(c.index, evicted.Key)
+		if c.idx != nil {
+			delete(c.idx, evicted.Key)
+			c.unlink(int32(victim), si)
 		}
+	} else {
+		c.fill[si]++
 	}
-	set[victim] = Line{Key: key, Value: value, Valid: true, lru: c.clock}
-	if c.index != nil {
-		c.index[key] = &set[victim]
+	c.lines[victim] = Line{Key: key, Value: value, Valid: true, lru: c.clock}
+	c.keys[victim] = key
+	if c.idx != nil {
+		c.idx[key] = int32(victim)
+		c.pushFront(int32(victim), si)
 	}
-	return evicted, wasEvicted
+	return &c.lines[victim], evicted, wasEvicted
 }
 
-// pickVictim chooses a victim index within a full set per the policy.
-func (c *Cache) pickVictim(set []Line) int {
+// pickVictim chooses a victim index within the (full) set si per the policy.
+func (c *Cache) pickVictim(si int) int {
+	if c.idx != nil {
+		// The LRU list makes victim selection O(1): the tail is the
+		// least recently used line. CheckedLRU walks from the tail toward
+		// recency for the oldest checked line — the same line a full
+		// minimum-stamp scan over checked lines would pick.
+		if c.repl == ReplCheckedLRU {
+			for i := c.tails[si]; i >= 0; i = c.prev[i] {
+				if c.lines[i].Checked {
+					return int(i)
+				}
+			}
+			// No checked line in the set: the optimization breaks down
+			// here (as the paper notes) and we fall back to plain LRU.
+		}
+		return int(c.tails[si])
+	}
+	base := si * c.assoc
 	switch c.repl {
 	case ReplCheckedLRU:
 		best := -1
-		for i := range set {
-			if !set[i].Checked {
+		for i := base; i < base+c.assoc; i++ {
+			if !c.lines[i].Checked {
 				continue
 			}
-			if best < 0 || set[i].lru < set[best].lru {
+			if best < 0 || c.lines[i].lru < c.lines[best].lru {
 				best = i
 			}
 		}
 		if best >= 0 {
 			return best
 		}
-		// No checked line in the set: the optimization breaks down here
-		// (as the paper notes) and we fall back to plain LRU.
 		fallthrough
 	default:
-		best := 0
-		for i := 1; i < len(set); i++ {
-			if set[i].lru < set[best].lru {
+		best := base
+		for i := base + 1; i < base+c.assoc; i++ {
+			if c.lines[i].lru < c.lines[best].lru {
 				best = i
 			}
 		}
@@ -284,30 +432,19 @@ func (c *Cache) CopyFrom(src *Cache) error {
 		return fmt.Errorf("cache: cannot copy %d-set/%d-way/repl-%d state into %d-set/%d-way/repl-%d cache",
 			src.numSets, src.assoc, src.repl, c.numSets, c.assoc, c.repl)
 	}
-	for i := range c.sets {
-		copy(c.sets[i], src.sets[i])
-	}
+	copy(c.lines, src.lines)
 	c.clock = src.clock
 	c.stats = src.stats
-	if c.index != nil {
-		clear(c.index)
-		for _, set := range c.sets {
-			for i := range set {
-				if set[i].Valid {
-					c.index[set[i].Key] = &set[i]
-				}
-			}
-		}
-	}
+	c.rebuildAux()
 	return nil
 }
 
 // State is an immutable, flat capture of a cache's complete state: every line
 // (valid or not, preserving LRU ordering) in one contiguous array, plus the
 // scalar counters. Capturing costs a single allocation — unlike Clone, no
-// per-set slices and no map index are built for a copy that will never be
-// looked up. A State is never written through, so one state may be restored
-// into many caches concurrently.
+// map index or LRU list is built for a copy that will never be looked up. A
+// State is never written through, so one state may be restored into many
+// caches concurrently.
 type State struct {
 	lines   []Line
 	assoc   int
@@ -320,16 +457,14 @@ type State struct {
 // CaptureState snapshots the cache's state into a single flat allocation.
 func (c *Cache) CaptureState() *State {
 	s := &State{
-		lines:   make([]Line, 0, c.assoc*c.numSets),
+		lines:   make([]Line, len(c.lines)),
 		assoc:   c.assoc,
 		numSets: c.numSets,
 		repl:    c.repl,
 		clock:   c.clock,
 		stats:   c.stats,
 	}
-	for _, set := range c.sets {
-		s.lines = append(s.lines, set...)
-	}
+	copy(s.lines, c.lines)
 	return s
 }
 
@@ -341,21 +476,10 @@ func (c *Cache) RestoreState(s *State) error {
 		return fmt.Errorf("cache: cannot restore %d-set/%d-way/repl-%d state into %d-set/%d-way/repl-%d cache",
 			s.numSets, s.assoc, s.repl, c.numSets, c.assoc, c.repl)
 	}
-	for i := range c.sets {
-		copy(c.sets[i], s.lines[i*c.assoc:(i+1)*c.assoc])
-	}
+	copy(c.lines, s.lines)
 	c.clock = s.clock
 	c.stats = s.stats
-	if c.index != nil {
-		clear(c.index)
-		for _, set := range c.sets {
-			for i := range set {
-				if set[i].Valid {
-					c.index[set[i].Key] = &set[i]
-				}
-			}
-		}
-	}
+	c.rebuildAux()
 	return nil
 }
 
@@ -363,24 +487,27 @@ func (c *Cache) RestoreState(s *State) error {
 // Invalidations do not count as evictions in the statistics (they model
 // recovery actions such as discarding a parity-faulty ITR line, Section 2.4).
 func (c *Cache) Invalidate(key uint64) bool {
-	if ln, ok := c.Probe(key); ok {
-		*ln = Line{}
-		if c.index != nil {
-			delete(c.index, key)
+	if i := c.find(key); i >= 0 {
+		si := int(i) / c.assoc
+		if c.idx != nil {
+			delete(c.idx, key)
+			c.unlink(i, si)
 		}
+		c.lines[i] = Line{}
+		c.keys[i] = 0
+		c.fill[si]--
 		return true
 	}
 	return false
 }
 
 // Visit calls fn for every valid line. Mutating lines through the pointer is
-// allowed; inserting or invalidating during a visit is not.
+// allowed — except Key and Valid, which the key scan and index depend on;
+// inserting or invalidating during a visit is not.
 func (c *Cache) Visit(fn func(*Line)) {
-	for _, set := range c.sets {
-		for i := range set {
-			if set[i].Valid {
-				fn(&set[i])
-			}
+	for i := range c.lines {
+		if c.lines[i].Valid {
+			fn(&c.lines[i])
 		}
 	}
 }

@@ -51,15 +51,13 @@ func (s *CoverageSim) Warm(ev trace.Event) {
 		ln.Checked = true
 		return
 	}
-	s.cache.Insert(ev.StartPC, ev.Sig)
-	if ln, ok := s.cache.Probe(ev.StartPC); ok {
-		// Charge nothing for warm-up instances: zero instruction weight and
-		// pre-referenced, so a later unreferenced-eviction charge cannot
-		// originate in the skipped region.
-		ln.Aux = 0
-		ln.Referenced = true
-		ln.Parity = cache.Parity64(ev.Sig)
-	}
+	ln, _, _ := s.cache.InsertGet(ev.StartPC, ev.Sig)
+	// Charge nothing for warm-up instances: zero instruction weight and
+	// pre-referenced, so a later unreferenced-eviction charge cannot
+	// originate in the skipped region.
+	ln.Aux = 0
+	ln.Referenced = true
+	ln.Parity = cache.Parity64(ev.Sig)
 }
 
 // Access processes one dynamic trace instance (fault-free stream).
@@ -84,18 +82,16 @@ func (s *CoverageSim) Access(ev trace.Event) {
 		s.missInsts += int64(ev.Len)
 	}
 
-	evicted, wasEvicted := s.cache.Insert(ev.StartPC, ev.Sig)
+	ln, evicted, wasEvicted := s.cache.InsertGet(ev.StartPC, ev.Sig)
 	s.writes++
-	if ln, ok := s.cache.Probe(ev.StartPC); ok {
-		// Remember how many instructions the installing instance carried,
-		// so an unreferenced eviction can be charged precisely.
-		ln.Aux = uint64(ev.Len)
-		ln.Parity = cache.Parity64(ev.Sig)
-		if s.cfg.MissFallback {
-			// The fallback check validated this instance, so the line is
-			// born checked.
-			ln.Checked = true
-		}
+	// Remember how many instructions the installing instance carried, so an
+	// unreferenced eviction can be charged precisely.
+	ln.Aux = uint64(ev.Len)
+	ln.Parity = cache.Parity64(ev.Sig)
+	if s.cfg.MissFallback {
+		// The fallback check validated this instance, so the line is born
+		// checked.
+		ln.Checked = true
 	}
 	if wasEvicted && !evicted.Referenced && !s.cfg.MissFallback {
 		s.evictedLossInsts += int64(evicted.Aux)

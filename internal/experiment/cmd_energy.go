@@ -105,36 +105,32 @@ func printBaselines(e *Engine, budget, scale int64) error {
 	fbCfg := baseCfg
 	fbCfg.MissFallback = true
 	for _, p := range workload.Suite() {
-		prog, err := workload.CachedProgram(p)
+		// One stream traversal fans out to both baseline configurations.
+		bank, err := core.NewSimBank([]core.Config{baseCfg, fbCfg}, 0)
 		if err != nil {
 			return err
 		}
-		events, executed := workload.EventsOf(prog, p.ScaledBudget(budget))
-		measure := func(cfg core.Config) (core.Result, error) {
-			sim, err := core.NewCoverageSim(cfg)
-			if err != nil {
-				return core.Result{}, err
-			}
-			for _, ev := range events {
-				sim.Access(ev)
-			}
-			res := sim.Result()
+		info, err := workload.StreamEvents(p, p.ScaledBudget(budget), bank.Feed)
+		if err != nil {
+			return err
+		}
+		executed := info.Insts
+		if info.Generated {
+			e.sweep.StreamsGenerated.Add(1)
+		}
+		e.sweep.EventsReplayed.Add(info.Events)
+		e.sweep.CellsCompleted.Add(int64(bank.Len()))
+		rescale := func(res core.Result) core.Result {
 			if scale > 0 && executed > 0 {
 				f := float64(scale) / float64(executed)
 				res.Reads = int64(float64(res.Reads) * f)
 				res.Writes = int64(float64(res.Writes) * f)
 				res.FallbackInsts = int64(float64(res.FallbackInsts) * f)
 			}
-			return res, nil
+			return res
 		}
-		base, err := measure(baseCfg)
-		if err != nil {
-			return err
-		}
-		fb, err := measure(fbCfg)
-		if err != nil {
-			return err
-		}
+		base := rescale(bank.Result(0))
+		fb := rescale(bank.Result(1))
 		dyn := executed
 		if scale > 0 {
 			dyn = scale

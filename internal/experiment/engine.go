@@ -29,6 +29,7 @@ type Engine struct {
 
 	out     *digestWriter
 	probe   *pipeline.Probe
+	sweep   *report.Probe
 	camp    *fault.Progress
 	started time.Time
 
@@ -59,6 +60,7 @@ func (e *Engine) Run() error {
 	}
 	e.out = &digestWriter{w: e.Out}
 	e.probe = &pipeline.Probe{}
+	e.sweep = &report.Probe{}
 	e.camp = &fault.Progress{}
 	e.bench = make(map[string]*BenchTiming)
 	e.started = time.Now()
@@ -93,9 +95,9 @@ func resolveWorkers(n int) int {
 }
 
 // reportEngine builds a report pool of the given width wired to the
-// engine's per-benchmark timing observer.
+// engine's per-benchmark timing observer and sweep-telemetry probe.
 func (e *Engine) reportEngine(workers int) *report.Engine {
-	return &report.Engine{Workers: workers, OnItem: e.recordItem}
+	return &report.Engine{Workers: workers, OnItem: e.recordItem, Probe: e.sweep}
 }
 
 // recordItem aggregates one timed work unit into the per-benchmark table.
@@ -150,6 +152,9 @@ func (e *Engine) finish() {
 	t.SnapshotPagesShared = e.probe.SnapshotPagesShared.Load()
 	t.SnapshotPagesCopied = e.probe.SnapshotPagesCopied.Load()
 	t.SnapshotBytesCopied = e.probe.SnapshotBytesCopied.Load()
+	t.StreamsGenerated = e.sweep.StreamsGenerated.Load()
+	t.EventsReplayed = e.sweep.EventsReplayed.Load()
+	t.SweepCells = e.sweep.CellsCompleted.Load()
 	t.Injections = e.camp.Injections.Load()
 	if t.Injections > 0 && e.manifest.WallClockSeconds > 0 {
 		t.InjectionsPerSec = float64(t.Injections) / e.manifest.WallClockSeconds
@@ -224,6 +229,10 @@ func (e *Engine) startProgress() func() {
 				if captures := e.probe.SnapshotCaptures.Load(); captures > 0 {
 					line += fmt.Sprintf(", %d snapshots (%.1f MiB cow-copied)",
 						captures, float64(e.probe.SnapshotBytesCopied.Load())/(1<<20))
+				}
+				if cells := e.sweep.CellsCompleted.Load(); cells > 0 || e.sweep.EventsReplayed.Load() > 0 {
+					line += fmt.Sprintf(", %d sweep cells (%d streams, %d events replayed)",
+						cells, e.sweep.StreamsGenerated.Load(), e.sweep.EventsReplayed.Load())
 				}
 				if inj > 0 {
 					line += fmt.Sprintf(", %d injections (%.1f/s)", inj, float64(inj)/elapsed)

@@ -76,6 +76,14 @@ type Telemetry struct {
 	SnapshotPagesShared int64 `json:"snapshotPagesShared,omitempty"`
 	SnapshotPagesCopied int64 `json:"snapshotPagesCopied,omitempty"`
 	SnapshotBytesCopied int64 `json:"snapshotBytesCopied,omitempty"`
+	// StreamsGenerated counts functional event-stream generations (workload
+	// cache misses); EventsReplayed counts trace events traversed by the
+	// sweep engine (one count per stream pass, however many cache
+	// configurations fan out from it); SweepCells counts completed
+	// (benchmark, configuration) sweep cells.
+	StreamsGenerated int64 `json:"streamsGenerated,omitempty"`
+	EventsReplayed   int64 `json:"eventsReplayed,omitempty"`
+	SweepCells       int64 `json:"sweepCells,omitempty"`
 	// Injections counts completed fault-injection experiments;
 	// InjectionsPerSec is Injections over the run's wall clock.
 	Injections       int64   `json:"injections,omitempty"`

@@ -24,6 +24,10 @@ type Engine struct {
 	// duration. It is called from pool goroutines concurrently, so it must
 	// be safe for concurrent use.
 	OnItem func(label string, elapsed time.Duration)
+	// Probe, when non-nil, accumulates sweep telemetry (streams generated,
+	// events replayed, cells completed) across every entry point run on this
+	// engine. Updated concurrently from pool goroutines.
+	Probe *Probe
 }
 
 // workers resolves the effective pool width.

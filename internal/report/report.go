@@ -29,13 +29,23 @@ import (
 )
 
 // Characterization runs one benchmark's trace characterization at the given
-// base budget (scaled per profile).
-func Characterization(p workload.Profile, budget int64) (*trace.Characterizer, error) {
-	prog, err := workload.CachedProgram(p)
+// base budget (scaled per profile). The characterizer is driven from the
+// shared memoized event stream, so the four characterization figures,
+// Table 1 and the coverage sweeps at the same budget pay for functional
+// execution once between them.
+func (e *Engine) Characterization(p workload.Profile, budget int64) (*trace.Characterizer, error) {
+	c := trace.NewCharacterizer()
+	info, err := workload.StreamEvents(p, p.ScaledBudget(budget), func(ev trace.Event) { c.Add(ev) })
 	if err != nil {
 		return nil, err
 	}
-	return trace.Characterize(prog, p.ScaledBudget(budget)), nil
+	e.observe(info)
+	return c, nil
+}
+
+// Characterization runs on the default engine.
+func Characterization(p workload.Profile, budget int64) (*trace.Characterizer, error) {
+	return defaultEngine.Characterization(p, budget)
 }
 
 // PopularityFigure produces Figure 1 (SPECint, step 100 up to 1000) or
@@ -47,7 +57,7 @@ func (e *Engine) PopularityFigure(profiles []workload.Profile, step, limit int, 
 	err := e.forEach(len(profiles), func(i int) error {
 		p := profiles[i]
 		return e.item(p.Name, func() error {
-			c, err := Characterization(p, budget)
+			c, err := e.Characterization(p, budget)
 			if err != nil {
 				return fmt.Errorf("%s: %w", p.Name, err)
 			}
@@ -75,7 +85,7 @@ func (e *Engine) DistanceFigure(profiles []workload.Profile, budget int64) ([]st
 	err := e.forEach(len(profiles), func(i int) error {
 		p := profiles[i]
 		return e.item(p.Name, func() error {
-			c, err := Characterization(p, budget)
+			c, err := e.Characterization(p, budget)
 			if err != nil {
 				return fmt.Errorf("%s: %w", p.Name, err)
 			}
@@ -113,7 +123,7 @@ func (e *Engine) Table1(budget int64) ([]Table1Row, error) {
 	err := e.forEach(len(suite), func(i int) error {
 		p := suite[i]
 		return e.item(p.Name, func() error {
-			c, err := Characterization(p, budget)
+			c, err := e.Characterization(p, budget)
 			if err != nil {
 				return fmt.Errorf("%s: %w", p.Name, err)
 			}
@@ -161,11 +171,53 @@ func CoverageSweep(profiles []workload.Profile, configs []core.Config, budget in
 // charged, mirroring the paper's 900M-instruction skip before its
 // 200M-instruction measurement window.
 //
-// The sweep runs on the report worker pool in two phases — event-stream
-// generation per benchmark, then one replay per (benchmark, configuration)
-// cell — with results slotted by index, so the returned cell order (suite
-// order, then config order) and every value are identical to a serial run.
+// Each benchmark is one unit of work on the report worker pool: a
+// core.SimBank holding every configuration is driven in lockstep from a
+// single traversal of the benchmark's event stream (straight from
+// trace.Stream on a workload-cache miss, replayed from the memo cache
+// otherwise), instead of one traversal per configuration. Results are
+// slotted by index, so the returned cell order (suite order, then config
+// order) and every value are bit-identical to the per-cell reference path
+// (CoverageSweepWarmPerCell) at any pool width.
 func (e *Engine) CoverageSweepWarm(profiles []workload.Profile, configs []core.Config, budget, warmupInsts int64) ([]CoverageCell, error) {
+	cells := make([]CoverageCell, len(profiles)*len(configs))
+	err := e.forEach(len(profiles), func(pi int) error {
+		p := profiles[pi]
+		return e.item(p.Name, func() error {
+			bank, err := core.NewSimBank(configs, warmupInsts)
+			if err != nil {
+				return fmt.Errorf("%s %w", p.Name, err)
+			}
+			info, err := workload.StreamEventSlices(p, p.ScaledBudget(budget)+warmupInsts, bank.FeedBlock)
+			if err != nil {
+				return fmt.Errorf("%s: %w", p.Name, err)
+			}
+			e.observe(info)
+			for ci, cfg := range configs {
+				cells[pi*len(configs)+ci] = CoverageCell{Benchmark: p.Name, Config: cfg, Result: bank.Result(ci)}
+			}
+			e.cells(len(configs))
+			return nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cells, nil
+}
+
+// CoverageSweepWarm runs on the default engine (full-width pool).
+func CoverageSweepWarm(profiles []workload.Profile, configs []core.Config, budget, warmupInsts int64) ([]CoverageCell, error) {
+	return defaultEngine.CoverageSweepWarm(profiles, configs, budget, warmupInsts)
+}
+
+// CoverageSweepWarmPerCell is the pre-bank reference implementation of the
+// sweep: event streams materialized per benchmark, then one full stream
+// traversal per (benchmark, configuration) cell. It is retained as the
+// oracle for the single-pass path's bit-identity property tests and as the
+// regression baseline (BenchmarkCoverageSweepSerial); CoverageSweepWarm
+// returns identical cells from one traversal per benchmark.
+func (e *Engine) CoverageSweepWarmPerCell(profiles []workload.Profile, configs []core.Config, budget, warmupInsts int64) ([]CoverageCell, error) {
 	streams := make([][]trace.Event, len(profiles))
 	err := e.forEach(len(profiles), func(pi int) error {
 		p := profiles[pi]
@@ -202,28 +254,17 @@ func (e *Engine) CoverageSweepWarm(profiles []workload.Profile, configs []core.C
 	return cells, nil
 }
 
-// CoverageSweepWarm runs on the default engine (full-width pool).
-func CoverageSweepWarm(profiles []workload.Profile, configs []core.Config, budget, warmupInsts int64) ([]CoverageCell, error) {
-	return defaultEngine.CoverageSweepWarm(profiles, configs, budget, warmupInsts)
-}
-
 // replayWarm drives one coverage simulator over a shared (read-only) event
-// stream. Warm-up boundary rule: a trace event is attributed to warm-up only
-// when it fits *entirely* within the warmupInsts prefix; the first event
-// straddling the boundary — and every event after it — is measured. Without
-// the latch, a short event following a long straddler could slip back under
-// the warm-up threshold and be spuriously warmed.
+// stream, delegating the warm-up boundary rule to the same core.WarmupLatch
+// that governs SimBank fan-out — the two replay paths cannot diverge.
 func replayWarm(sim *core.CoverageSim, events []trace.Event, warmupInsts int64) {
-	warmed := int64(0)
-	warming := warmupInsts > 0
+	latch := core.NewWarmupLatch(warmupInsts)
 	for _, ev := range events {
-		if warming && warmed+int64(ev.Len) <= warmupInsts {
+		if latch.Admit(ev.Len) {
 			sim.Warm(ev)
-			warmed += int64(ev.Len)
-			continue
+		} else {
+			sim.Access(ev)
 		}
-		warming = false
-		sim.Access(ev)
 	}
 }
 
@@ -403,6 +444,13 @@ type Figure9Row struct {
 // given budget and linearly scaled to scaleInsts dynamic instructions
 // (pass 200e6 to match the paper's 200M-instruction windows; 0 disables
 // scaling).
+//
+// The access counts come from a default-configuration coverage sweep over
+// the shared memoized event streams — the same replay (and the same sweep
+// cell) the Figures 6-7 design space contains — instead of a private
+// re-simulation per benchmark. A trace event stream partitions every
+// executed instruction into exactly one event, so the measured dynamic
+// instruction count is the replay's TotalInsts.
 func (e *Engine) Figure9(profiles []workload.Profile, budget, scaleInsts int64) ([]Figure9Row, error) {
 	singleNJ, err := energy.AccessEnergyNJ(energy.ITRCacheSinglePort)
 	if err != nil {
@@ -417,40 +465,26 @@ func (e *Engine) Figure9(profiles []workload.Profile, budget, scaleInsts int64) 
 		return nil, err
 	}
 
-	rows := make([]Figure9Row, len(profiles))
-	err = e.forEach(len(profiles), func(i int) error {
-		p := profiles[i]
-		return e.item(p.Name, func() error {
-			prog, err := workload.CachedProgram(p)
-			if err != nil {
-				return fmt.Errorf("%s: %w", p.Name, err)
-			}
-			events, executed := workload.EventsOf(prog, p.ScaledBudget(budget))
-			sim, err := core.NewCoverageSim(core.DefaultConfig())
-			if err != nil {
-				return err
-			}
-			for _, ev := range events {
-				sim.Access(ev)
-			}
-			res := sim.Result()
-			scale := 1.0
-			if scaleInsts > 0 && executed > 0 {
-				scale = float64(scaleInsts) / float64(executed)
-			}
-			itrAccesses := int64(float64(res.Reads+res.Writes) * scale)
-			iAccesses := int64(float64(energy.RedundantFetchAccesses(executed)) * scale)
-			rows[i] = Figure9Row{
-				Benchmark:      p.Name,
-				ITRSinglePort:  energy.EnergyMJ(itrAccesses, singleNJ),
-				ITRDualPort:    energy.EnergyMJ(itrAccesses, dualNJ),
-				ICacheRedFetch: energy.EnergyMJ(iAccesses, iNJ),
-			}
-			return nil
-		})
-	})
+	cells, err := e.CoverageSweepWarm(profiles, []core.Config{core.DefaultConfig()}, budget, 0)
 	if err != nil {
 		return nil, err
+	}
+	rows := make([]Figure9Row, len(profiles))
+	for i, p := range profiles {
+		res := cells[i].Result
+		executed := res.TotalInsts
+		scale := 1.0
+		if scaleInsts > 0 && executed > 0 {
+			scale = float64(scaleInsts) / float64(executed)
+		}
+		itrAccesses := int64(float64(res.Reads+res.Writes) * scale)
+		iAccesses := int64(float64(energy.RedundantFetchAccesses(executed)) * scale)
+		rows[i] = Figure9Row{
+			Benchmark:      p.Name,
+			ITRSinglePort:  energy.EnergyMJ(itrAccesses, singleNJ),
+			ITRDualPort:    energy.EnergyMJ(itrAccesses, dualNJ),
+			ICacheRedFetch: energy.EnergyMJ(iAccesses, iNJ),
+		}
 	}
 	return rows, nil
 }

@@ -1,0 +1,200 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"itr/internal/trace"
+)
+
+// prefixProfile returns a synthetic benchmark with its own (unique) cache
+// entry, so generation-count assertions cannot race with other tests sharing
+// the global memoization cache.
+func prefixProfile(name string) Profile {
+	return Profile{
+		Name:         name,
+		StaticTraces: 140,
+		Components:   []Component{{40, 50}},
+		Seed:         7,
+	}
+}
+
+// freshEvents runs an uncached functional execution — the oracle every cached
+// serving mode must match bit for bit.
+func freshEvents(t *testing.T, p Profile, budget int64) []trace.Event {
+	t.Helper()
+	prog, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, _ := EventsOf(prog, budget)
+	return events
+}
+
+// gens runs fn and returns how many functional stream generations it caused.
+func gens(fn func()) int64 {
+	before := streamGens.Load()
+	fn()
+	return streamGens.Load() - before
+}
+
+// TestCachedEventsServesPrefix: a stream cached at a large budget serves every
+// smaller budget as an exact prefix — identical to a fresh run at that budget,
+// including a cut landing exactly on an event boundary — without regenerating.
+func TestCachedEventsServesPrefix(t *testing.T) {
+	p := prefixProfile("prefix-serve")
+	const big = 60_000
+	full, err := CachedEvents(p, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) == 0 {
+		t.Fatal("empty stream")
+	}
+
+	// An event-boundary budget and an arbitrary interior budget.
+	boundary := int64(0)
+	for _, ev := range full[:len(full)/2] {
+		boundary += int64(ev.Len)
+	}
+	for _, budget := range []int64{boundary, 37_501, 1, big} {
+		var got []trace.Event
+		if n := gens(func() {
+			var err error
+			got, err = CachedEvents(p, budget)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}); n != 0 {
+			t.Errorf("budget %d: caused %d regenerations, want 0", budget, n)
+		}
+		want := freshEvents(t, p, budget)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("budget %d: cached prefix (%d events) differs from fresh run (%d events)",
+				budget, len(got), len(want))
+		}
+	}
+}
+
+// TestCachedEventsStraddlePartialTail pins the hard case: a budget cutting
+// through the middle of a cached event must yield a rebuilt Partial tail whose
+// length and signature match what the trace former emits on a fresh
+// budget-bound run.
+func TestCachedEventsStraddlePartialTail(t *testing.T) {
+	p := prefixProfile("prefix-straddle")
+	full, err := CachedEvents(p, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Find an event of at least two instructions and cut it one short.
+	cum := int64(0)
+	cut := int64(-1)
+	for _, ev := range full {
+		if ev.Len >= 2 {
+			cut = cum + int64(ev.Len) - 1
+			break
+		}
+		cum += int64(ev.Len)
+	}
+	if cut < 0 {
+		t.Fatal("no multi-instruction event found")
+	}
+
+	got, err := CachedEvents(p, cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := freshEvents(t, p, cut)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("cut %d: cached %d events, fresh %d events; tails %+v vs %+v",
+			cut, len(got), len(want), got[len(got)-1], want[len(want)-1])
+	}
+	tail := got[len(got)-1]
+	if !tail.Partial {
+		t.Fatalf("tail not marked partial: %+v", tail)
+	}
+}
+
+// TestCachedEventsBudgetSequence is the anti-thrash property: alternating
+// larger -> smaller -> larger requests within the cached budget never
+// regenerate; only a request beyond the cached budget does, after which the
+// larger cache serves everything.
+func TestCachedEventsBudgetSequence(t *testing.T) {
+	p := prefixProfile("prefix-thrash")
+	ask := func(budget int64, wantGens int64) {
+		t.Helper()
+		if n := gens(func() {
+			if _, err := CachedEvents(p, budget); err != nil {
+				t.Fatal(err)
+			}
+		}); n != wantGens {
+			t.Errorf("budget %d: %d generations, want %d", budget, n, wantGens)
+		}
+	}
+	ask(40_000, 1) // cold: generate
+	ask(10_000, 0) // prefix
+	ask(40_000, 0) // full cached stream
+	ask(10_000, 0) // prefix again — no thrash
+	ask(55_000, 1) // beyond cache: regenerate once at the larger budget
+	ask(40_000, 0) // now a prefix of the larger cache
+	ask(55_000, 0)
+}
+
+// TestStreamEventsMatchesCachedEvents: the streaming entry point delivers the
+// identical event sequence on both its paths (generation tee and cached
+// replay), with accurate StreamInfo accounting.
+func TestStreamEventsMatchesCachedEvents(t *testing.T) {
+	p := prefixProfile("prefix-stream")
+	const budget = 30_000
+
+	collect := func(budget int64) ([]trace.Event, StreamInfo) {
+		var got []trace.Event
+		info, err := StreamEvents(p, budget, func(ev trace.Event) { got = append(got, ev) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got, info
+	}
+
+	first, firstInfo := collect(budget)
+	if !firstInfo.Generated {
+		t.Error("first call should report a generation")
+	}
+	second, secondInfo := collect(budget)
+	if secondInfo.Generated {
+		t.Error("second call should replay from cache")
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("generation tee and cached replay delivered different streams")
+	}
+	if !reflect.DeepEqual(first, freshEvents(t, p, budget)) {
+		t.Fatal("streamed events differ from a fresh run")
+	}
+
+	for _, info := range []StreamInfo{firstInfo, secondInfo} {
+		if info.Events != int64(len(first)) {
+			t.Errorf("info.Events = %d, want %d", info.Events, len(first))
+		}
+		insts := int64(0)
+		for _, ev := range first {
+			insts += int64(ev.Len)
+		}
+		if info.Insts != insts {
+			t.Errorf("info.Insts = %d, want %d", info.Insts, insts)
+		}
+	}
+
+	// A prefix request delivers the same cut CachedEvents serves.
+	streamed, info := collect(11_111)
+	if info.Generated {
+		t.Error("prefix request regenerated")
+	}
+	sliced, err := CachedEvents(p, 11_111)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(streamed, sliced) {
+		t.Fatal("StreamEvents prefix differs from CachedEvents prefix")
+	}
+}

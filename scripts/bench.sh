@@ -6,17 +6,22 @@
 #   BENCH_PATTERN='BenchmarkDecode' scripts/bench.sh   # subset
 #   BENCH_TIME=5x BENCH_COUNT=3 scripts/bench.sh       # more samples
 #   BENCH_MAX_REGRESSION_PCT=10 scripts/bench.sh       # looser gate
+#   BENCH_GATE_ALLOCS=0 scripts/bench.sh               # ns/op gate only
 #
-# Exits non-zero when any benchmark's ns/op regresses more than
-# BENCH_MAX_REGRESSION_PCT (default 5) past benchmarks/baseline.txt. Promote
-# a reviewed latest.txt with scripts/bench-update.sh.
+# Exits non-zero when any benchmark's ns/op — or, for benchmarks reporting
+# allocations, allocs/op — regresses more than BENCH_MAX_REGRESSION_PCT
+# (default 5) past benchmarks/baseline.txt. Allocation gating can be disabled
+# with BENCH_GATE_ALLOCS=0 (e.g. across Go toolchain versions, whose runtime
+# allocation behavior may shift). Promote a reviewed latest.txt with
+# scripts/bench-update.sh.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PATTERN="${BENCH_PATTERN:-BenchmarkDecodeFull|BenchmarkDecodeMemoized|BenchmarkTraceStream|BenchmarkCoverageSweepSerial|BenchmarkCoverageSweepParallel|BenchmarkSignatureAccumulate|BenchmarkITRCacheAccess|BenchmarkCoverageReplay|BenchmarkFigure8Campaign|BenchmarkSnapshotCapture|BenchmarkSnapshotRestore}"
+PATTERN="${BENCH_PATTERN:-BenchmarkDecodeFull|BenchmarkDecodeMemoized|BenchmarkTraceStream|BenchmarkCoverageSweepSerial|BenchmarkCoverageSweepParallel|BenchmarkCoverageSweepSinglePass|BenchmarkSignatureAccumulate|BenchmarkITRCacheAccess|BenchmarkCoverageReplay|BenchmarkFigure8Campaign|BenchmarkSnapshotCapture|BenchmarkSnapshotRestore}"
 TIME="${BENCH_TIME:-1s}"
 COUNT="${BENCH_COUNT:-3}"
 MAX="${BENCH_MAX_REGRESSION_PCT:-5}"
+GATE_ALLOCS="${BENCH_GATE_ALLOCS:-1}"
 
 mkdir -p benchmarks
 go test -run '^$' -bench "$PATTERN" -benchtime "$TIME" -count "$COUNT" . | tee benchmarks/latest.txt
@@ -26,17 +31,25 @@ if [ ! -f benchmarks/baseline.txt ]; then
     exit 0
 fi
 
-# Compare the best (minimum) ns/op per benchmark across the -count samples
-# in each file: min-of-N is far less noisy than any single sample, which
-# matters for sub-nanosecond loop bodies.
-awk -v max="$MAX" '
+# Compare the best (minimum) ns/op — and allocs/op where reported — per
+# benchmark across the -count samples in each file: min-of-N is far less
+# noisy than any single sample, which matters for sub-nanosecond loop bodies.
+awk -v max="$MAX" -v gateallocs="$GATE_ALLOCS" '
     # Normalize "BenchmarkName-8" to "BenchmarkName" so baselines transfer
     # across machines with different GOMAXPROCS.
     function name(s) { sub(/-[0-9]+$/, "", s); return s }
+    # allocs/op of the current line, or -1 when the benchmark does not report
+    # allocations.
+    function allocs(   i) {
+        for (i = 4; i <= NF; i++) if ($i == "allocs/op") return $(i - 1) + 0
+        return -1
+    }
     FNR == NR {
         if ($1 ~ /^Benchmark/) {
             n = name($1)
             if (!(n in base) || $3 + 0 < base[n]) base[n] = $3 + 0
+            a = allocs()
+            if (a >= 0 && (!(n in basea) || a < basea[n])) basea[n] = a
         }
         next
     }
@@ -44,6 +57,8 @@ awk -v max="$MAX" '
         n = name($1)
         if (!(n in cur)) order[++nn] = n
         if (!(n in cur) || $3 + 0 < cur[n]) cur[n] = $3 + 0
+        a = allocs()
+        if (a >= 0 && (!(n in cura) || a < cura[n])) cura[n] = a
     }
     END {
         for (i = 1; i <= nn; i++) {
@@ -52,6 +67,17 @@ awk -v max="$MAX" '
             b = base[n]
             pct = b > 0 ? 100 * (cur[n] - b) / b : 0
             printf "%-36s baseline %14.1f ns/op   latest %14.1f ns/op   %+7.2f%%\n", n, b, cur[n], pct
+            if (n in basea && n in cura) {
+                apct = basea[n] > 0 ? 100 * (cura[n] - basea[n]) / basea[n] : 0
+                printf "%-36s baseline %14d allocs  latest %14d allocs  %+7.2f%%\n", "", basea[n], cura[n], apct
+                # Allocation counts are deterministic modulo runtime details;
+                # gate them with the same threshold unless opted out. Tiny
+                # counts (< 100) flip on runtime noise — report only.
+                if (gateallocs + 0 == 1 && basea[n] >= 100 && apct > max) {
+                    bad = 1
+                    printf "REGRESSION: %s allocates %.2f%% more per op (limit %s%%)\n", n, apct, max
+                }
+            }
             # Loop bodies under ~2ns are below timer resolution; report them
             # but do not gate on their percentage noise.
             if (b < 2) continue
