@@ -232,6 +232,35 @@ func BenchmarkFigure8Campaign(b *testing.B) { figure8CampaignBench(b, 0) }
 // bit-identical to the fast path.
 func BenchmarkFigure8CampaignCold(b *testing.B) { figure8CampaignBench(b, -1) }
 
+// BenchmarkCampaignArenaReuse measures campaign allocation behavior: each
+// injection worker recycles its observe/verify machines through a run arena
+// (restore-into-place instead of rebuilding), so allocs/op should stay within
+// a small multiple of the pilot + snapshot cost rather than scaling with the
+// per-injection machine construction it replaced.
+func BenchmarkCampaignArenaReuse(b *testing.B) {
+	prof, err := workload.ByName("art")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := workload.CachedProgram(prof)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := fault.DefaultCampaignConfig()
+	cfg.Faults = 24
+	cfg.Workers = 1
+	cfg.Experiment.WindowCycles = 20_000
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := fault.RunCampaign("bench", prog, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Total), "injections")
+	}
+}
+
 // snapshotBenchCPU builds a pipeline over a store loop striding across 64
 // memory pages and runs it to a mid-window point. The synthetic SPEC
 // workloads concentrate their data accesses in a single page, which would
@@ -441,6 +470,7 @@ func BenchmarkPipelineCycle(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	res := cpu.Run(int64(b.N))
 	b.ReportMetric(res.IPC(), "ipc")

@@ -64,9 +64,9 @@ func main() {
 
 	// 5. Verify every committed instruction against the reference.
 	idx := 0
-	cpu.SetCommitObserver(func(pc uint64, o isa.Outcome) {
+	cpu.SetCommitObserver(func(pc uint64, o *isa.Outcome) {
 		g := golden[idx]
-		if pc != g.pc || !o.SameArchEffect(g.o) {
+		if pc != g.pc || !o.SameArchEffect(&g.o) {
 			log.Fatalf("commit %d diverged from the fault-free reference", idx)
 		}
 		idx++

@@ -93,12 +93,12 @@ func main() {
 
 	// Verify every committed instruction against the reference.
 	idx := 0
-	cpu.SetCommitObserver(func(pc uint64, o isa.Outcome) {
+	cpu.SetCommitObserver(func(pc uint64, o *isa.Outcome) {
 		if idx >= len(golden) {
 			log.Fatalf("committed beyond the reference at %d", idx)
 		}
 		g := golden[idx]
-		if pc != g.pc || !o.SameArchEffect(g.o) {
+		if pc != g.pc || !o.SameArchEffect(&g.o) {
 			log.Fatalf("commit %d diverged from the fault-free reference", idx)
 		}
 		idx++

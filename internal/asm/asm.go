@@ -1,7 +1,7 @@
 // Package asm provides a plain-text assembler and disassembler for the
 // synthetic ISA, so test programs and experiment inputs can be written as
 // source files instead of builder calls. The syntax mirrors the
-// disassembly printed by itrdump:
+// disassembly printed by `itr dump`:
 //
 //	; comments run to end of line
 //	        addi  r1, r0, 100      ; rd, rs1, imm

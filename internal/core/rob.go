@@ -23,9 +23,12 @@ type ROBEntry struct {
 // ROB is the ITR ROB: a ring of trace entries in dispatch order. Entries are
 // addressed by absolute sequence number so branch-misprediction rollback can
 // name the entry recorded in the branch's checkpoint, exactly as the paper
-// describes.
+// describes. The ring is physically sized to a power of two (logical
+// capacity unchanged) so the per-poll slot index is a mask, not a divide.
 type ROB struct {
 	entries []ROBEntry
+	mask    uint64 // len(entries) - 1
+	cap     int    // logical capacity (Full threshold)
 	head    uint64 // sequence number of the oldest live entry
 	tail    uint64 // sequence number one past the youngest live entry
 }
@@ -37,14 +40,18 @@ func NewROB(capacity int) *ROB {
 	if capacity <= 0 {
 		capacity = 64
 	}
-	return &ROB{entries: make([]ROBEntry, capacity)}
+	phys := 1
+	for phys < capacity {
+		phys <<= 1
+	}
+	return &ROB{entries: make([]ROBEntry, phys), mask: uint64(phys - 1), cap: capacity}
 }
 
 // Len returns the number of live entries.
 func (r *ROB) Len() int { return int(r.tail - r.head) }
 
 // Full reports whether dispatch must stall.
-func (r *ROB) Full() bool { return r.Len() == len(r.entries) }
+func (r *ROB) Full() bool { return r.Len() == r.cap }
 
 // Alloc appends an entry at the tail, returning its sequence number.
 // ok is false when the ROB is full.
@@ -53,17 +60,17 @@ func (r *ROB) Alloc(e ROBEntry) (seq uint64, ok bool) {
 		return 0, false
 	}
 	seq = r.tail
-	r.entries[seq%uint64(len(r.entries))] = e
+	r.entries[seq&r.mask] = e
 	r.tail++
 	return seq, true
 }
 
 // Head returns the oldest live entry, or nil when empty.
 func (r *ROB) Head() *ROBEntry {
-	if r.Len() == 0 {
+	if r.head == r.tail {
 		return nil
 	}
-	return &r.entries[r.head%uint64(len(r.entries))]
+	return &r.entries[r.head&r.mask]
 }
 
 // HeadSeq returns the sequence number of the oldest live entry.
@@ -74,7 +81,7 @@ func (r *ROB) At(seq uint64) *ROBEntry {
 	if seq < r.head || seq >= r.tail {
 		return nil
 	}
-	return &r.entries[seq%uint64(len(r.entries))]
+	return &r.entries[seq&r.mask]
 }
 
 // PopHead frees the oldest entry (called when the trace-terminating
@@ -109,7 +116,7 @@ func (r *ROB) String() string {
 // Clone returns a deep copy of the ROB (entries, head, tail) sharing nothing
 // with the original.
 func (r *ROB) Clone() *ROB {
-	c := &ROB{entries: make([]ROBEntry, len(r.entries)), head: r.head, tail: r.tail}
+	c := &ROB{entries: make([]ROBEntry, len(r.entries)), mask: r.mask, cap: r.cap, head: r.head, tail: r.tail}
 	copy(c.entries, r.entries)
 	return c
 }
@@ -117,8 +124,8 @@ func (r *ROB) Clone() *ROB {
 // CopyFrom overwrites the ROB's state with a deep copy of src, preserving
 // r's identity. The capacities must match. src is only read.
 func (r *ROB) CopyFrom(src *ROB) error {
-	if len(r.entries) != len(src.entries) {
-		return fmt.Errorf("itr-rob: cannot copy %d-entry state into %d-entry ROB", len(src.entries), len(r.entries))
+	if len(r.entries) != len(src.entries) || r.cap != src.cap {
+		return fmt.Errorf("itr-rob: cannot copy %d-entry state into %d-entry ROB", src.cap, r.cap)
 	}
 	copy(r.entries, src.entries)
 	r.head, r.tail = src.head, src.tail

@@ -37,5 +37,11 @@ func resolveRun(cli Spec) (Spec, error) {
 	if cli.Progress {
 		spec.Progress = true
 	}
+	if cli.CPUProfile != "" {
+		spec.CPUProfile = cli.CPUProfile
+	}
+	if cli.MemProfile != "" {
+		spec.MemProfile = cli.MemProfile
+	}
 	return spec, nil
 }

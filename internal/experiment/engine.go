@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"time"
@@ -51,7 +52,7 @@ func New(spec Spec, out, errw io.Writer) *Engine {
 }
 
 // Run executes the spec's experiment and writes the manifest. The rendered
-// output is byte-identical to the legacy standalone binaries.
+// output is byte-identical to the pre-engine standalone binaries.
 func (e *Engine) Run() error {
 	e.Spec = e.Spec.Normalized()
 	cmd := Lookup(e.Spec.Kind)
@@ -71,15 +72,71 @@ func (e *Engine) Run() error {
 		Started:       e.started.UTC().Format(time.RFC3339),
 		Workers:       resolveWorkers(e.Spec.Workers),
 	}
+	stopProfile, err := e.startCPUProfile()
+	if err != nil {
+		return err
+	}
 	if e.Spec.Progress {
 		stop := e.startProgress()
 		defer stop()
 	}
 	if err := cmd.Run(e); err != nil {
+		stopProfile()
+		return err
+	}
+	stopProfile()
+	if err := e.writeMemProfile(); err != nil {
 		return err
 	}
 	e.finish()
 	return e.writeManifest()
+}
+
+// startCPUProfile begins CPU profiling when the spec requests it, returning
+// an idempotent stop function (a no-op one when profiling is off).
+func (e *Engine) startCPUProfile() (func(), error) {
+	if e.Spec.CPUProfile == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(e.Spec.CPUProfile)
+	if err != nil {
+		return nil, fmt.Errorf("cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("cpuprofile: %w", err)
+	}
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// writeMemProfile captures a post-run heap profile when the spec requests
+// one. The GC beforehand makes the profile reflect live retention (snapshot
+// series, golden streams, arenas) rather than transient garbage.
+func (e *Engine) writeMemProfile() error {
+	if e.Spec.MemProfile == "" {
+		return nil
+	}
+	f, err := os.Create(e.Spec.MemProfile)
+	if err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	return nil
 }
 
 // Manifest returns the run record; valid after Run returns nil.

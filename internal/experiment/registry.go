@@ -4,7 +4,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"os"
 	"strconv"
 )
 
@@ -75,6 +74,10 @@ func bindCommon(fs *flag.FlagSet, s *Spec) {
 		"run-manifest path (default itr-<command>-manifest.json; \"none\" disables)")
 	fs.BoolVar(&s.Progress, "progress", s.Progress,
 		"print a live telemetry ticker to stderr while the run is in flight")
+	fs.StringVar(&s.CPUProfile, "cpuprofile", s.CPUProfile,
+		"write a pprof CPU profile of the run to this file")
+	fs.StringVar(&s.MemProfile, "memprofile", s.MemProfile,
+		"write a pprof heap profile (taken after the run) to this file")
 }
 
 // Main is the `itr` CLI entry point: dispatches argv[0] to the registry,
@@ -114,14 +117,6 @@ func Main(argv []string, out, errw io.Writer) int {
 		return 1
 	}
 	return 0
-}
-
-// Shim backs the legacy standalone binaries (itrchar, itrfault, ...) for
-// one release: it forwards os.Args to the named subcommand and returns the
-// exit code. Output is identical to `itr <kind>`.
-func Shim(kind string) int {
-	fmt.Fprintf(os.Stderr, "note: itr%s is deprecated; use `itr %s` (this shim forwards to it)\n", kind, kind)
-	return Main(append([]string{kind}, os.Args[1:]...), os.Stdout, os.Stderr)
 }
 
 // negBool is a flag.Value storing the *negation* of the flag into its

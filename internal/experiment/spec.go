@@ -5,10 +5,9 @@
 // clock, worker width, per-benchmark timings, result digests, telemetry).
 //
 // The six paper commands (char, coverage, dump, energy, fault, sim) are
-// subcommands registered here; the legacy standalone binaries are shims
-// over the same registry. Batch drivers build a Spec directly (or load one
-// from JSON with ParseSpec) and hand it to an Engine — the CLI is just one
-// thin producer of specs.
+// subcommands registered here. Batch drivers build a Spec directly (or load
+// one from JSON with ParseSpec) and hand it to an Engine — the CLI is just
+// one thin producer of specs.
 package experiment
 
 import (
@@ -64,6 +63,12 @@ type Spec struct {
 	ManifestPath string `json:"manifestPath,omitempty"`
 	// Progress enables a live telemetry ticker on stderr.
 	Progress bool `json:"progress,omitempty"`
+	// CPUProfile and MemProfile, when set, write pprof profiles of the run
+	// there (CPU profile spanning the experiment; heap profile captured after
+	// it finishes). Like the manifest they default to the working directory
+	// when given bare file names.
+	CPUProfile string `json:"cpuProfile,omitempty"`
+	MemProfile string `json:"memProfile,omitempty"`
 
 	// SpecPath is CLI plumbing for `itr run -spec`; it is not part of the
 	// declarative spec.
@@ -237,8 +242,8 @@ func (s Spec) Normalized() Spec {
 }
 
 // DefaultSpec returns the normalized spec for a kind — the exact defaults
-// the legacy standalone binaries used, which double as the subcommands'
-// flag defaults.
+// the original paper commands used, which double as the subcommands' flag
+// defaults.
 func DefaultSpec(kind string) Spec {
 	return Spec{Kind: kind}.Normalized()
 }

@@ -208,8 +208,12 @@ func RunCampaign(name string, prog *program.Program, cfg CampaignConfig) (Campai
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One arena per worker: the observe and verify machines are
+			// built once and recycled via Restore across every injection
+			// this worker runs.
+			ar := newRunArena(prog, cfg.Experiment)
 			for i := range work {
-				details[i], errs[i] = runOne(prog, oracle, cfg.Experiment, injections[i], rc)
+				details[i], errs[i] = runOne(prog, oracle, cfg.Experiment, injections[i], rc, ar)
 				if cfg.Progress != nil {
 					cfg.Progress.Injections.Add(1)
 				}

@@ -176,7 +176,7 @@ func (g *golden) checkpoint(taken bool) {
 }
 
 // observe compares one committed instruction against the reference.
-func (g *golden) observe(pc uint64, o isa.Outcome) {
+func (g *golden) observe(pc uint64, o *isa.Outcome) {
 	if g.diverged {
 		return
 	}
@@ -184,9 +184,10 @@ func (g *golden) observe(pc uint64, o isa.Outcome) {
 		g.diverged = true
 		return
 	}
-	want := g.st.Exec(g.tab.Signals(pc), pc)
-	g.st.Apply(want)
-	if !o.SameArchEffect(want) {
+	var want isa.Outcome
+	g.st.ExecInto(&want, g.tab.Signals(pc), pc)
+	g.st.ApplyRef(&want)
+	if !o.SameArchEffect(&want) {
 		g.diverged = true
 	}
 }
@@ -194,8 +195,10 @@ func (g *golden) observe(pc uint64, o isa.Outcome) {
 // DefaultSnapshotInterval is the decode-event spacing of pilot snapshots
 // when Config.SnapshotInterval is zero. Smaller intervals skip more of the
 // fault-free prefix per injection at the cost of more pilot snapshots held
-// in memory (one deep machine image each).
-const DefaultSnapshotInterval = 8192
+// in memory. Captures are copy-on-write (pages shared, machine state deep),
+// so the spacing is tuned for the resume gap — an injection re-simulates
+// half the interval on average before its fault fires — not capture cost.
+const DefaultSnapshotInterval = 2048
 
 // Config parameterizes a single-injection experiment.
 type Config struct {
@@ -248,7 +251,86 @@ func DefaultConfig() Config {
 // from cycle 0 (the cold path; campaigns use the snapshot fast path via
 // RunCampaign).
 func RunOne(prog *program.Program, oracle *SigOracle, cfg Config, inj Injection) (Detail, error) {
-	return runOne(prog, oracle, cfg, inj, nil)
+	return runOne(prog, oracle, cfg, inj, nil, nil)
+}
+
+// runArena holds one campaign worker's reusable machines. Building a
+// pipeline allocates every component a run touches — slot columns, predictor
+// tables, ITR cache and ROB, fetch queue — so a campaign that built two
+// fresh machines per injection spent a visible slice of its time and almost
+// all of its allocations on setup that Restore makes redundant: restoring a
+// snapshot (a pilot resume point, or the machine's own cycle-0 image for a
+// cold start) rewrites the complete mutable state in place, bit-identically.
+// The arena keeps one observe-mode and one verify-mode CPU per worker and
+// recycles them across every injection the worker runs.
+//
+// An arena is single-threaded (each worker owns one); the machines it hands
+// out carry whatever hooks and observers the previous run installed, so
+// runOne (re)sets every hook it depends on at the start of each run.
+type runArena struct {
+	prog *program.Program
+	cfg  Config
+
+	observe  *pipeline.CPU
+	observe0 *pipeline.Snapshot // observe's pristine cycle-0 image
+	verify   *pipeline.CPU
+	verify0  *pipeline.Snapshot
+}
+
+// newRunArena returns an empty arena for one worker; machines are built on
+// first use so a campaign whose injections never verify (or never run cold)
+// never pays for what it doesn't touch.
+func newRunArena(prog *program.Program, cfg Config) *runArena {
+	return &runArena{prog: prog, cfg: cfg}
+}
+
+// observeCPU returns the reusable observe-mode machine, reset to snap (or to
+// its cycle-0 image when snap is nil).
+func (a *runArena) observeCPU(snap *pipeline.Snapshot) (*pipeline.CPU, error) {
+	if a.observe == nil {
+		pcfg := a.cfg.Pipeline
+		pcfg.ITREnabled = true
+		pcfg.ITR = a.cfg.ITR
+		pcfg.ITRMode = core.ModeObserve
+		cpu, err := pipeline.New(a.prog, pcfg)
+		if err != nil {
+			return nil, err
+		}
+		a.observe = cpu
+		a.observe0 = cpu.Snapshot()
+	}
+	if snap == nil {
+		snap = a.observe0
+	}
+	if err := a.observe.Restore(snap); err != nil {
+		return nil, err
+	}
+	return a.observe, nil
+}
+
+// verifyCPU is observeCPU for the full-protocol machine (ModeFull, plus the
+// campaign's checkpointing setting).
+func (a *runArena) verifyCPU(snap *pipeline.Snapshot) (*pipeline.CPU, error) {
+	if a.verify == nil {
+		pcfg := a.cfg.Pipeline
+		pcfg.ITREnabled = true
+		pcfg.ITR = a.cfg.ITR
+		pcfg.ITRMode = core.ModeFull
+		pcfg.CheckpointEnabled = a.cfg.Checkpoint
+		cpu, err := pipeline.New(a.prog, pcfg)
+		if err != nil {
+			return nil, err
+		}
+		a.verify = cpu
+		a.verify0 = cpu.Snapshot()
+	}
+	if snap == nil {
+		snap = a.verify0
+	}
+	if err := a.verify.Restore(snap); err != nil {
+		return nil, err
+	}
+	return a.verify, nil
 }
 
 // runOne performs one injection experiment and classifies it. When rc is
@@ -258,25 +340,31 @@ func RunOne(prog *program.Program, oracle *SigOracle, cfg Config, inj Injection)
 // precomputed commit log. The resumed trajectory is bit-identical to the
 // cold one — the snapshot captures the complete machine state and the fault
 // fires strictly after it.
-func runOne(prog *program.Program, oracle *SigOracle, cfg Config, inj Injection, rc *replayContext) (Detail, error) {
+func runOne(prog *program.Program, oracle *SigOracle, cfg Config, inj Injection, rc *replayContext, ar *runArena) (Detail, error) {
 	det := Detail{Injection: inj}
 	snap := rc.nearest(inj.DecodeIndex)
 
 	// ---- observe run: natural outcome + detection facts ----
-	pcfg := cfg.Pipeline
-	pcfg.ITREnabled = true
-	pcfg.ITR = cfg.ITR
-	pcfg.ITRMode = core.ModeObserve
-	cpu, err := pipeline.New(prog, pcfg)
+	var cpu *pipeline.CPU
+	var err error
+	if ar != nil {
+		cpu, err = ar.observeCPU(snap)
+	} else {
+		pcfg := cfg.Pipeline
+		pcfg.ITREnabled = true
+		pcfg.ITR = cfg.ITR
+		pcfg.ITRMode = core.ModeObserve
+		cpu, err = pipeline.New(prog, pcfg)
+		if err == nil && snap != nil {
+			err = cpu.Restore(snap)
+		}
+	}
 	if err != nil {
 		return det, fmt.Errorf("observe run: %w", err)
 	}
 	budget := cfg.WindowCycles
 	var diverged func() bool
 	if snap != nil {
-		if err := cpu.Restore(snap); err != nil {
-			return det, fmt.Errorf("observe restore: %w", err)
-		}
 		cur := rc.stream.cursor(int(snap.Committed))
 		cpu.SetCommitObserver(cur.observe)
 		diverged = func() bool { return cur.diverged }
@@ -286,7 +374,7 @@ func runOne(prog *program.Program, oracle *SigOracle, cfg Config, inj Injection,
 		cpu.SetCommitObserver(g.observe)
 		diverged = func() bool { return g.diverged }
 	}
-	cpu.SetFaultHook(hook(inj))
+	cpu.SetFaultHook(hook(inj, cpu))
 	res := cpu.Run(budget)
 
 	det.NaturalSDC = diverged()
@@ -311,25 +399,41 @@ func runOne(prog *program.Program, oracle *SigOracle, cfg Config, inj Injection,
 
 	// ---- verify run: confirm the recovery story under the full protocol ----
 	if cfg.Verify && det.Detected {
-		pcfg.ITRMode = core.ModeFull
-		pcfg.CheckpointEnabled = cfg.Checkpoint
-		vcpu, err := pipeline.New(prog, pcfg)
+		// The fast path is invalid under checkpointing: a cold verify run
+		// takes coarse-grain checkpoints during the prefix, which the
+		// checkpoint-free pilot snapshot cannot reproduce.
+		vsnap := snap
+		if cfg.Checkpoint {
+			vsnap = nil
+		}
+		var vcpu *pipeline.CPU
+		if ar != nil {
+			vcpu, err = ar.verifyCPU(vsnap)
+		} else {
+			pcfg := cfg.Pipeline
+			pcfg.ITREnabled = true
+			pcfg.ITR = cfg.ITR
+			pcfg.ITRMode = core.ModeFull
+			pcfg.CheckpointEnabled = cfg.Checkpoint
+			vcpu, err = pipeline.New(prog, pcfg)
+			if err == nil && vsnap != nil {
+				err = vcpu.Restore(vsnap)
+			}
+		}
 		if err != nil {
 			return det, fmt.Errorf("verify run: %w", err)
 		}
 		vbudget := cfg.WindowCycles
 		var vdiverged func() bool
-		// The fast path is invalid under checkpointing: a cold verify run
-		// takes coarse-grain checkpoints during the prefix, which the
-		// checkpoint-free pilot snapshot cannot reproduce.
-		if snap != nil && !cfg.Checkpoint {
-			if err := vcpu.Restore(snap); err != nil {
-				return det, fmt.Errorf("verify restore: %w", err)
-			}
-			vcur := rc.stream.cursor(int(snap.Committed))
+		// A reused machine carries the previous run's observers; every hook a
+		// verify run depends on is (re)set below, and the checkpoint observer
+		// is cleared unless this run installs its own.
+		vcpu.SetCheckpointObserver(nil)
+		if vsnap != nil {
+			vcur := rc.stream.cursor(int(vsnap.Committed))
 			vcpu.SetCommitObserver(vcur.observe)
 			vdiverged = func() bool { return vcur.diverged }
-			vbudget = cfg.WindowCycles - snap.Cycle
+			vbudget = cfg.WindowCycles - vsnap.Cycle
 		} else {
 			vg := newGolden(prog)
 			vcpu.SetCommitObserver(vg.observe)
@@ -338,7 +442,7 @@ func runOne(prog *program.Program, oracle *SigOracle, cfg Config, inj Injection,
 			}
 			vdiverged = func() bool { return vg.diverged }
 		}
-		vcpu.SetFaultHook(hook(inj))
+		vcpu.SetFaultHook(hook(inj, vcpu))
 		vres := vcpu.Run(vbudget)
 		det.Verified = true
 		det.RecoveredInFull = vcpu.Checker().Stats().Recoveries > 0
@@ -350,12 +454,17 @@ func runOne(prog *program.Program, oracle *SigOracle, cfg Config, inj Injection,
 	return det, nil
 }
 
-// hook returns a FaultHook flipping the injection's bit exactly once.
-func hook(inj Injection) pipeline.FaultHook {
+// hook returns a FaultHook flipping the injection's bit exactly once. After
+// the flip it uninstalls itself from cpu — the remainder of the window (the
+// vast majority of its decode events) runs hook-free. An installed-but-fired
+// hook would return every later instruction's signals unchanged, so clearing
+// it is behaviorally invisible.
+func hook(inj Injection, cpu *pipeline.CPU) pipeline.FaultHook {
 	done := false
 	return func(i int64, pc uint64, wrongPath bool, d isa.DecodeSignals) isa.DecodeSignals {
 		if !done && i == inj.DecodeIndex {
 			done = true
+			cpu.SetFaultHook(nil)
 			return d.FlipBit(inj.Bit)
 		}
 		return d

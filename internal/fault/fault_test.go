@@ -267,13 +267,13 @@ func TestGoldenDetectsDivergence(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		pc := st.PC
 		o := st.Step(p.Fetch(pc))
-		g.observe(pc, o)
+		g.observe(pc, &o)
 	}
 	if g.diverged {
 		t.Fatal("golden diverged on the true stream")
 	}
 	// A wrong PC diverges immediately.
-	g.observe(9999, isa.Outcome{NextPC: 10000})
+	g.observe(9999, &isa.Outcome{NextPC: 10000})
 	if !g.diverged {
 		t.Fatal("golden missed a PC divergence")
 	}

@@ -51,11 +51,17 @@ func NewGoldenStream(prog *program.Program) *GoldenStream {
 func (s *GoldenStream) ensure(n int) []goldenEntry {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if cap(s.entries) <= n {
+		grown := make([]goldenEntry, len(s.entries), n+n/4+1)
+		copy(grown, s.entries)
+		s.entries = grown
+	}
 	for len(s.entries) <= n {
 		pc := s.st.PC
-		out := s.st.Exec(s.tab.Signals(pc), pc)
-		s.st.Apply(out)
-		s.entries = append(s.entries, goldenEntry{pc: pc, out: out})
+		s.entries = append(s.entries, goldenEntry{pc: pc})
+		e := &s.entries[len(s.entries)-1]
+		s.st.ExecInto(&e.out, s.tab.Signals(pc), pc)
+		s.st.ApplyRef(&e.out)
 	}
 	return s.entries[:len(s.entries):len(s.entries)]
 }
@@ -78,20 +84,20 @@ type goldenCursor struct {
 }
 
 // observe is a pipeline.CommitObserver.
-func (c *goldenCursor) observe(pc uint64, o isa.Outcome) {
+func (c *goldenCursor) observe(pc uint64, o *isa.Outcome) {
 	if c.diverged {
 		return
 	}
 	if c.idx >= len(c.view) {
 		c.view = c.s.ensure(c.idx)
 	}
-	e := c.view[c.idx]
+	e := &c.view[c.idx]
 	if pc != e.pc {
 		c.diverged = true
 		return
 	}
 	c.idx++
-	if !o.SameArchEffect(e.out) {
+	if !o.SameArchEffect(&e.out) {
 		c.diverged = true
 	}
 }

@@ -89,8 +89,8 @@ func TestGoldenStreamMatchesLiveGolden(t *testing.T) {
 	cur := s.cursor(0)
 	view := s.ensure(499)
 	for _, e := range view[:500] {
-		g.observe(e.pc, e.out)
-		cur.observe(e.pc, e.out)
+		g.observe(e.pc, &e.out)
+		cur.observe(e.pc, &e.out)
 	}
 	if g.diverged || cur.diverged {
 		t.Fatalf("fault-free replay diverged: live=%v cursor=%v", g.diverged, cur.diverged)
@@ -100,8 +100,8 @@ func TestGoldenStreamMatchesLiveGolden(t *testing.T) {
 	g2 := newGolden(p)
 	cur2 := s.cursor(0)
 	e := view[0]
-	g2.observe(e.pc+1, e.out)
-	cur2.observe(e.pc+1, e.out)
+	g2.observe(e.pc+1, &e.out)
+	cur2.observe(e.pc+1, &e.out)
 	if !g2.diverged || !cur2.diverged {
 		t.Fatalf("PC mismatch not flagged: live=%v cursor=%v", g2.diverged, cur2.diverged)
 	}
@@ -110,7 +110,7 @@ func TestGoldenStreamMatchesLiveGolden(t *testing.T) {
 	cur3 := s.cursor(100)
 	bad := view[100].out
 	bad.NextPC ^= 1
-	cur3.observe(view[100].pc, bad)
+	cur3.observe(view[100].pc, &bad)
 	if !cur3.diverged {
 		t.Fatal("outcome mismatch not flagged by seeked cursor")
 	}

@@ -58,8 +58,9 @@ type Outcome struct {
 }
 
 // SameArchEffect reports whether two outcomes perform identical architectural
-// updates (register write, memory write, and next PC).
-func (o Outcome) SameArchEffect(g Outcome) bool {
+// updates (register write, memory write, and next PC). Pointer receiver and
+// argument keep the comparison copy-free on the commit hot path.
+func (o *Outcome) SameArchEffect(g *Outcome) bool {
 	if o.NextPC != g.NextPC || o.Halt != g.Halt {
 		return false
 	}
@@ -129,6 +130,41 @@ func signExtend(v uint64, bytes uint8) uint64 {
 	}
 }
 
+// regInt reads integer register r through the hardwired-zero rule.
+func (st *ArchState) regInt(r RegID) uint64 {
+	if r == 0 {
+		return 0
+	}
+	return st.R[r&0x1f]
+}
+
+// regFP reads floating-point register r.
+func (st *ArchState) regFP(r RegID) uint64 { return st.F[r&0x1f] }
+
+// regSrc reads r from the file selected by is_fp.
+func (st *ArchState) regSrc(d DecodeSignals, r RegID) uint64 {
+	if d.HasFlag(FlagFP) {
+		return st.F[r&0x1f]
+	}
+	return st.regInt(r)
+}
+
+// writeDst records the register write-back of v, gated by num_rdst and the
+// hardwired zero register.
+func (o *Outcome) writeDst(d DecodeSignals, v uint64) {
+	if d.NumRdst == 0 {
+		return
+	}
+	o.RegWrite = true
+	o.RegFP = d.HasFlag(FlagFP)
+	o.Reg = d.Rdst & 0x1f
+	o.Value = v
+	if !o.RegFP && o.Reg == 0 {
+		// Writes to the hardwired zero register are dropped.
+		o.RegWrite = false
+	}
+}
+
 // Exec computes the architectural effect of executing the decode signals d at
 // program counter pc against state st. It reads registers and memory but
 // performs no writes; apply the returned Outcome with Apply.
@@ -140,33 +176,24 @@ func signExtend(v uint64, bytes uint8) uint64 {
 // register write-back is gated by num_rdst. This mirrors how corrupted decode
 // signals steer a real pipeline.
 func (st *ArchState) Exec(d DecodeSignals, pc uint64) Outcome {
-	o := Outcome{NextPC: pc + 1}
+	var o Outcome
+	st.ExecInto(&o, d, pc)
+	return o
+}
 
-	readInt := func(r RegID) uint64 {
-		if r == 0 {
-			return 0
-		}
-		return st.R[r&0x1f]
-	}
-	readFP := func(r RegID) uint64 { return st.F[r&0x1f] }
-	readSrc := func(r RegID) uint64 {
-		if d.HasFlag(FlagFP) {
-			return readFP(r)
-		}
-		return readInt(r)
-	}
-	writeDst := func(v uint64) {
-		if d.NumRdst == 0 {
-			return
-		}
-		o.RegWrite = true
-		o.RegFP = d.HasFlag(FlagFP)
-		o.Reg = d.Rdst & 0x1f
-		o.Value = v
-		if !o.RegFP && o.Reg == 0 {
-			// Writes to the hardwired zero register are dropped.
-			o.RegWrite = false
-		}
+// execSpecial is the flag set that steers execution away from the plain-ALU
+// default path; testing it once fast-paths the most common instruction kind.
+const execSpecial = FlagTrap | FlagBranch | FlagLd | FlagSt
+
+// ExecInto is Exec writing the outcome into *o instead of returning it — the
+// pipeline's dispatch loop executes straight into the ROB outcome column,
+// avoiding a per-instruction Outcome copy.
+func (st *ArchState) ExecInto(o *Outcome, d DecodeSignals, pc uint64) {
+	*o = Outcome{NextPC: pc + 1}
+
+	if d.Flags&execSpecial == 0 {
+		o.writeDst(d, st.alu(d))
+		return
 	}
 
 	switch {
@@ -178,7 +205,7 @@ func (st *ArchState) Exec(d DecodeSignals, pc uint64) Outcome {
 			// fault, or an invalid opcode) acts as an annulled operation.
 			o.Illegal = true
 		}
-		return o
+		return
 
 	case d.HasFlag(FlagBranch):
 		o.Branch = true
@@ -187,19 +214,19 @@ func (st *ArchState) Exec(d DecodeSignals, pc uint64) Outcome {
 			if d.HasFlag(FlagDirect) {
 				o.NextPC = d.DirectTarget()
 			} else {
-				o.NextPC = readInt(d.Rsrc1)
+				o.NextPC = st.regInt(d.Rsrc1)
 			}
 			// Calls record the return address.
-			writeDst(pc + 1)
+			o.writeDst(d, pc+1)
 			if o.RegWrite && d.HasFlag(FlagFP) {
 				// A link write can only meaningfully target the integer
 				// file; a corrupted is_fp makes it land in the fp file,
 				// which is exactly the corruption we want to model.
 				o.RegFP = true
 			}
-			return o
+			return
 		}
-		a, b := readInt(d.Rsrc1), readInt(d.Rsrc2)
+		a, b := st.regInt(d.Rsrc1), st.regInt(d.Rsrc2)
 		var taken bool
 		switch d.Opcode {
 		case OpBeq:
@@ -223,10 +250,10 @@ func (st *ArchState) Exec(d DecodeSignals, pc uint64) Outcome {
 			o.Taken = true
 			o.NextPC = pc + 1 + sx16(d.Imm)
 		}
-		return o
+		return
 
 	case d.HasFlag(FlagLd):
-		addr := readInt(d.Rsrc1) + sx16(d.Imm)
+		addr := st.regInt(d.Rsrc1) + sx16(d.Imm)
 		bytes := memBytes(d.MemSize)
 		v := st.Mem.Load(addr, bytes)
 		if d.HasFlag(FlagSigned) {
@@ -234,39 +261,39 @@ func (st *ArchState) Exec(d DecodeSignals, pc uint64) Outcome {
 		}
 		switch d.Opcode {
 		case OpLwl:
-			old := readSrc(d.Rdst)
+			old := st.regSrc(d, d.Rdst)
 			v = old&0x0000ffff | st.Mem.Load(addr&^3, 4)&0xffff0000
 		case OpLwr:
-			old := readSrc(d.Rdst)
+			old := st.regSrc(d, d.Rdst)
 			v = old&0xffff0000 | st.Mem.Load(addr&^3, 4)&0x0000ffff
 		}
-		writeDst(v)
-		return o
+		o.writeDst(d, v)
+		return
 
 	case d.HasFlag(FlagSt):
-		addr := readInt(d.Rsrc1) + sx16(d.Imm)
+		addr := st.regInt(d.Rsrc1) + sx16(d.Imm)
 		o.MemWrite = true
 		o.MemAddr = addr
 		o.MemWSize = memBytes(d.MemSize)
-		o.MemWData = readSrc(d.Rsrc2)
+		o.MemWData = st.regSrc(d, d.Rsrc2)
 		if o.MemWSize == 0 {
 			// A corrupted mem_size of zero suppresses the access.
 			o.MemWrite = false
 		}
-		return o
+		return
 
 	default:
-		writeDst(st.alu(d, pc, readInt, readFP))
-		return o
+		o.writeDst(d, st.alu(d))
+		return
 	}
 }
 
 // alu computes the result of a non-memory, non-branch operation.
-func (st *ArchState) alu(d DecodeSignals, pc uint64, readInt func(RegID) uint64, readFP func(RegID) uint64) uint64 {
+func (st *ArchState) alu(d DecodeSignals) uint64 {
 	// Operand sourcing: register-register format reads rsrc2; displacement
 	// format substitutes the immediate.
-	a := readInt(d.Rsrc1)
-	b := readInt(d.Rsrc2)
+	a := st.regInt(d.Rsrc1)
+	b := st.regInt(d.Rsrc2)
 	if d.HasFlag(FlagDisp) {
 		if d.HasFlag(FlagSigned) {
 			b = sx16(d.Imm)
@@ -276,8 +303,8 @@ func (st *ArchState) alu(d DecodeSignals, pc uint64, readInt func(RegID) uint64,
 	}
 
 	if d.HasFlag(FlagFP) {
-		fa := math.Float64frombits(readFP(d.Rsrc1))
-		fb := math.Float64frombits(readFP(d.Rsrc2))
+		fa := math.Float64frombits(st.regFP(d.Rsrc1))
+		fb := math.Float64frombits(st.regFP(d.Rsrc2))
 		switch d.Opcode {
 		case OpFAdd:
 			return math.Float64bits(fa + fb)
@@ -293,7 +320,7 @@ func (st *ArchState) alu(d DecodeSignals, pc uint64, readInt func(RegID) uint64,
 		case OpFNeg:
 			return math.Float64bits(-fa)
 		case OpFMov:
-			return readFP(d.Rsrc1)
+			return st.regFP(d.Rsrc1)
 		case OpFCmp:
 			if fa < fb {
 				return 1
@@ -303,7 +330,7 @@ func (st *ArchState) alu(d DecodeSignals, pc uint64, readInt func(RegID) uint64,
 			return math.Float64bits(float64(int64(a)))
 		default:
 			// Corrupted opcode with is_fp set: pass operand through.
-			return readFP(d.Rsrc1)
+			return st.regFP(d.Rsrc1)
 		}
 	}
 
@@ -348,13 +375,16 @@ func (st *ArchState) alu(d DecodeSignals, pc uint64, readInt func(RegID) uint64,
 	default:
 		// Corrupted opcode: the ALU op-select lines pick no unit; model as
 		// a pass-through of the first operand.
-		_ = pc
 		return a
 	}
 }
 
 // Apply commits an Outcome to the architectural state.
-func (st *ArchState) Apply(o Outcome) {
+func (st *ArchState) Apply(o Outcome) { st.ApplyRef(&o) }
+
+// ApplyRef is Apply without the argument copy, for hot paths that already
+// hold the outcome in addressable storage.
+func (st *ArchState) ApplyRef(o *Outcome) {
 	if o.RegWrite {
 		if o.RegFP {
 			st.F[o.Reg&0x1f] = o.Value

@@ -421,31 +421,31 @@ func TestFaultLatOnlyAffectsTiming(t *testing.T) {
 	base := st.Exec(d, 0)
 	d.Lat = Lat4 // fault on the latency field
 	faulty := st.Exec(d, 0)
-	if !base.SameArchEffect(faulty) {
+	if !base.SameArchEffect(&faulty) {
 		t.Fatal("lat field must not change architectural effect")
 	}
 }
 
 func TestOutcomeSameArchEffect(t *testing.T) {
 	a := Outcome{NextPC: 1, RegWrite: true, Reg: 3, Value: 7}
-	if !a.SameArchEffect(a) {
+	if !a.SameArchEffect(&a) {
 		t.Fatal("outcome must equal itself")
 	}
 	b := a
 	b.Value = 8
-	if a.SameArchEffect(b) {
+	if a.SameArchEffect(&b) {
 		t.Fatal("different values must differ")
 	}
 	c := a
 	c.NextPC = 2
-	if a.SameArchEffect(c) {
+	if a.SameArchEffect(&c) {
 		t.Fatal("different nextPC must differ")
 	}
 	d := a
 	d.MemWrite = true
 	d.MemAddr = 0x10
 	d.MemWSize = 8
-	if a.SameArchEffect(d) {
+	if a.SameArchEffect(&d) {
 		t.Fatal("memory write must differ")
 	}
 }

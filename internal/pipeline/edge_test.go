@@ -140,12 +140,12 @@ func TestAllBenchmarksPipelineSmoke(t *testing.T) {
 				t.Fatal(err)
 			}
 			idx := 0
-			cpu.SetCommitObserver(func(pc uint64, o isa.Outcome) {
+			cpu.SetCommitObserver(func(pc uint64, o *isa.Outcome) {
 				if idx >= len(want) {
 					return
 				}
 				w := want[idx]
-				if pc != w.pc || !o.SameArchEffect(w.o) {
+				if pc != w.pc || !o.SameArchEffect(&w.o) {
 					t.Fatalf("commit %d diverged", idx)
 				}
 				idx++

@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"fmt"
+	"math/bits"
 	"sync/atomic"
 
 	"itr/internal/checkpoint"
@@ -183,8 +184,10 @@ func (c Config) normalize() Config {
 type FaultHook func(decodeIndex int64, pc uint64, wrongPath bool, d isa.DecodeSignals) isa.DecodeSignals
 
 // CommitObserver sees every committed instruction in order (golden lockstep
-// comparison attaches here).
-type CommitObserver func(pc uint64, o isa.Outcome)
+// comparison attaches here). The outcome pointer aliases pipeline-internal
+// storage and is valid only for the duration of the call: observers that
+// retain the outcome must copy it.
+type CommitObserver func(pc uint64, o *isa.Outcome)
 
 // Termination says why a run ended.
 type Termination int
@@ -241,38 +244,6 @@ func (r Result) IPC() float64 {
 	return float64(r.Committed) / float64(r.Cycles)
 }
 
-type srcKind uint8
-
-const (
-	srcReady srcKind = iota
-	srcSeq
-	srcPhantom // operand that can never become ready (fault-induced)
-)
-
-type source struct {
-	kind srcKind
-	seq  uint64
-}
-
-type uop struct {
-	valid       bool
-	pc          uint64
-	predNext    uint64
-	d           isa.DecodeSignals
-	outcome     isa.Outcome
-	wrongPath   bool
-	traceEnd    bool
-	itrSeq      uint64 // ITR ROB entry sequence (valid when traceEnd)
-	renameSeq   uint64 // rename checker entry sequence (valid when traceEnd)
-	decodeIndex int64
-	tacViolated bool // issued before a producer completed (scheduler fault)
-	issued      bool
-	done        bool
-	doneCycle   int64
-	srcs        [3]source
-	nsrc        int
-}
-
 type fetchedInst struct {
 	pc       uint64
 	predNext uint64
@@ -301,12 +272,17 @@ type CPU struct {
 	ckpt          *checkpoint.Manager
 	former        trace.Former
 
-	rob              []uop // ring storage; power-of-two length ≥ cfg.ROBSize
+	slots            robSlots // SoA uop columns; ring length is a power of two ≥ cfg.ROBSize
 	robMask          uint64
 	robCap           int // logical capacity (cfg.ROBSize)
 	robHead, robTail uint64
-	executing        []uint64
-	wbCompleted      []uint64 // writeback scratch; logically empty between cycles
+	// wheel is the completion calendar: bucket doneCycle&wheelMask holds the
+	// sequence numbers finishing that cycle, so writeback touches only the
+	// uops completing now instead of rescanning everything in flight. Stale
+	// entries (squashed uops, possibly with their slot since recycled) are
+	// filtered at pop by the issued/done bits and an exact doneCycle match.
+	wheel       [wheelSlots][]uint64
+	wbCompleted []uint64 // writeback scratch; logically empty between cycles
 
 	prod [2][isa.NumRegs]producer
 
@@ -359,13 +335,13 @@ func New(prog *program.Program, cfg Config) (*CPU, error) {
 		decode:     prog.DecodeTable(),
 		mem:        isa.NewMemory(),
 		pred:       NewPredictor(cfg.BTBEntries, cfg.BTBAssoc, cfg.GshareBits),
-		rob:        make([]uop, nextPow2(cfg.ROBSize)),
+		slots:      newRobSlots(nextPow2(cfg.ROBSize)),
 		robCap:     cfg.ROBSize,
 		fq:         make([]fetchedInst, nextPow2(cfg.FetchQueue)),
 		fetchPC:    prog.Entry,
 		expectedPC: prog.Entry,
 	}
-	c.robMask = uint64(len(c.rob) - 1)
+	c.robMask = uint64(c.slots.capacity - 1)
 	c.fqMask = uint64(len(c.fq) - 1)
 	c.committed = &isa.ArchState{Mem: c.mem, PC: prog.Entry}
 	c.spec = newSpecState(c.committed, c.mem)
@@ -558,9 +534,9 @@ func (c *CPU) stepCycle() {
 
 func (c *CPU) robLen() int { return int(c.robTail - c.robHead) }
 
-// at maps a sequence number to its ROB slot. The backing array is sized to a
+// slot maps a sequence number to its ROB slot index. The ring is sized to a
 // power of two so the hot-path index is a mask, not a divide.
-func (c *CPU) at(seq uint64) *uop { return &c.rob[seq&c.robMask] }
+func (c *CPU) slot(seq uint64) uint64 { return seq & c.robMask }
 
 // nextPow2 returns the smallest power of two >= n (minimum 1).
 func nextPow2(n int) int {
@@ -581,16 +557,17 @@ func (c *CPU) fqReset() { c.fqTail = c.fqHead }
 
 func (c *CPU) commitStage() {
 	for n := 0; n < c.cfg.CommitWidth && c.robLen() > 0; n++ {
-		u := c.at(c.robHead)
-		if !u.done {
+		idx := c.slot(c.robHead)
+		if !c.slots.done.get(idx) {
 			return
 		}
-		if u.wrongPath {
+		flags := c.slots.flags[idx]
+		if flags&slotWrongPath != 0 {
 			// Unreachable when resolution works: wrong-path uops are
 			// always squashed by the mispredicted branch ahead of them.
 			panic("pipeline: wrong-path uop reached commit")
 		}
-		if c.checker != nil {
+		if c.checker != nil && !c.checker.PollQuick() {
 			switch a := c.checker.Poll(); a.Kind {
 			case core.ActionStall:
 				return
@@ -609,7 +586,7 @@ func (c *CPU) commitStage() {
 				return
 			}
 		}
-		if c.renameChecker != nil {
+		if c.renameChecker != nil && !c.renameChecker.PollQuick() {
 			switch a := c.renameChecker.Poll(); a.Kind {
 			case core.ActionStall:
 				return
@@ -630,39 +607,50 @@ func (c *CPU) commitStage() {
 		}
 		// TAC (scheduler) assertion: flush and re-execute on an issue-order
 		// violation, before the stale result can commit.
-		if c.tacCommitCheck(u) {
+		if c.tacCommitCheck(flags) {
 			c.tac.Recovered++
-			c.itrFlush(u.pc)
+			c.itrFlush(c.slots.pc[idx])
 			return
 		}
 
+		pc := c.slots.pc[idx]
+		out := &c.slots.outcome[idx]
 		// Sequential-PC check (Section 2.5): a committing instruction's PC
 		// must match the commit PC chain.
-		if u.pc != c.expectedPC {
+		if pc != c.expectedPC {
 			c.spcFired++
 		}
-		c.expectedPC = u.outcome.NextPC
+		c.expectedPC = out.NextPC
 
 		if c.ckpt != nil {
-			c.ckpt.BeforeStore(u.outcome)
+			c.ckpt.BeforeStore(*out)
 		}
-		c.committed.Apply(u.outcome)
+		c.committed.ApplyRef(out)
+		if out.MemWrite && flags&slotTACViolated == 0 {
+			// The store's effect is in committed memory now; release its
+			// overlay word. A TAC-violated uop commits a recomputed outcome
+			// whose store may not match the one dispatch put in the overlay,
+			// so its entry is left for the flush the violation triggers.
+			c.spec.overlay.commitStore(out.MemAddr)
+		}
 		c.committedCount++
 		if c.checker != nil {
 			c.checker.SetNow(c.committedCount)
 		}
 		c.lastCommitCycle = c.cycle
 		if c.observer != nil {
-			c.observer(u.pc, u.outcome)
+			c.observer(pc, out)
 		}
-		if u.traceEnd && c.checker != nil {
-			c.checker.CommitTraceEnd()
-		}
-		if u.traceEnd && c.renameChecker != nil {
-			c.renameChecker.CommitTraceEnd()
+		if flags&slotTraceEnd != 0 {
+			if c.checker != nil {
+				c.checker.CommitTraceEnd()
+			}
+			if c.renameChecker != nil {
+				c.renameChecker.CommitTraceEnd()
+			}
 		}
 		c.robHead++
-		if u.outcome.Halt {
+		if out.Halt {
 			c.terminated = true
 			c.termination = TermHalt
 			return
@@ -676,7 +664,9 @@ func (c *CPU) commitStage() {
 func (c *CPU) itrFlush(restartPC uint64) {
 	c.itrFlushes++
 	c.robTail = c.robHead
-	c.executing = c.executing[:0]
+	for i := range c.wheel {
+		c.wheel[i] = c.wheel[i][:0]
+	}
 	c.fqReset()
 	c.former.Reset()
 	c.renameSig.reset()
@@ -703,24 +693,33 @@ func (c *CPU) itrFlush(restartPC uint64) {
 
 // ---- writeback / branch resolution ----
 
+// wheelSlots sizes the completion calendar; it must exceed the largest
+// isa.LatCycles value (6) so a bucket never mixes two completion cycles.
+const (
+	wheelSlots = 8
+	wheelMask  = wheelSlots - 1
+)
+
 func (c *CPU) writebackStage() {
-	if len(c.executing) == 0 {
+	bucket := c.wheel[c.cycle&wheelMask]
+	if len(bucket) == 0 {
 		return
 	}
-	kept := c.executing[:0]
 	completed := c.wbCompleted[:0]
-	for _, seq := range c.executing {
+	for _, seq := range bucket {
 		if seq < c.robHead || seq >= c.robTail {
 			continue // squashed or committed
 		}
-		u := c.at(seq)
-		if u.doneCycle > c.cycle {
-			kept = append(kept, seq)
+		idx := c.slot(seq)
+		// A recycled slot invalidates stale bucket entries: the new occupant
+		// is unissued, already done, or issued toward a different cycle.
+		if !c.slots.issued.get(idx) || c.slots.done.get(idx) ||
+			int64(c.slots.doneCycle[idx]) != c.cycle {
 			continue
 		}
 		completed = append(completed, seq)
 	}
-	c.executing = kept
+	c.wheel[c.cycle&wheelMask] = bucket[:0]
 	c.wbCompleted = completed[:0] // keep the grown backing array for next cycle
 	// Complete oldest-first so the oldest misprediction wins the redirect.
 	for i := 1; i < len(completed); i++ {
@@ -732,15 +731,21 @@ func (c *CPU) writebackStage() {
 		if seq < c.robHead || seq >= c.robTail {
 			continue // squashed by an older branch this cycle
 		}
-		u := c.at(seq)
-		u.done = true
-		if u.wrongPath || !u.d.IsBranching() {
+		idx := c.slot(seq)
+		if c.slots.done.get(idx) {
+			continue // duplicate bucket entry for a recycled sequence number
+		}
+		c.slots.done.set(idx)
+		c.wake(idx, seq)
+		flags := c.slots.flags[idx]
+		if flags&slotWrongPath != 0 || flags&slotBranching == 0 {
 			continue
 		}
 		// Correct-path branch resolution.
-		c.pred.Train(u.pc, u.outcome.NextPC, u.outcome.Taken, u.d.HasFlag(isa.FlagUncond))
+		out := &c.slots.outcome[idx]
+		c.pred.Train(c.slots.pc[idx], out.NextPC, out.Taken, flags&slotUncond != 0)
 		if c.wrongPathArmed && c.wrongPathFrom == seq {
-			c.repairMispredict(seq, u.outcome.NextPC)
+			c.repairMispredict(seq, out.NextPC)
 		}
 	}
 }
@@ -763,18 +768,50 @@ func (c *CPU) repairMispredict(seq uint64, target uint64) {
 			}
 		}
 	}
+	// Squashed consumers' wakeup nodes sit at the head of surviving
+	// producers' lists (insertion is newest-first), in front of surviving
+	// waiters. Once a squashed slot is recycled, its node's next-link is
+	// overwritten by the new occupant's registration, which would strand
+	// every surviving waiter behind it. Rebuild the survivors' lists from
+	// the source words — the authoritative record of unsatisfied operands.
+	for s := c.robHead; s < c.robTail; s++ {
+		c.slots.wakeHead[c.slot(s)] = wakeNone
+	}
+	for s := c.robHead; s < c.robTail; s++ {
+		idx := c.slot(s)
+		if c.slots.issued.get(idx) {
+			continue // already in the completion wheel; never waits again
+		}
+		srcs := c.slots.srcs[idx*3 : idx*3+3 : idx*3+3]
+		pending := uint64(0)
+		for k := uint64(0); k < 3; k++ {
+			w := srcs[k]
+			if w == 0 {
+				continue
+			}
+			if w < srcWordPhantom {
+				pseq := w & srcSeqMask
+				pidx := pseq & c.robMask
+				if pseq < c.robHead || pseq >= c.robTail || c.slots.done.get(pidx) {
+					srcs[k] = 0
+					continue
+				}
+				c.slots.wakeNext[idx*3+k] = c.slots.wakeHead[pidx]
+				c.slots.wakeHead[pidx] = idx*3 + k
+			}
+			pending++
+		}
+		c.slots.pending[idx] = pending
+		c.slots.ready.put(idx, pending == 0)
+	}
 	// The branch terminated its trace, so it owns the youngest surviving
 	// ITR ROB entry; roll back to the checkpoint noted at its dispatch.
-	if c.checker != nil {
-		u := c.at(seq)
-		if u.traceEnd {
-			c.checker.RollbackTo(u.itrSeq)
+	if idx := c.slot(seq); c.slots.flags[idx]&slotTraceEnd != 0 {
+		if c.checker != nil {
+			c.checker.RollbackTo(c.slots.itrSeq[idx])
 		}
-	}
-	if c.renameChecker != nil {
-		u := c.at(seq)
-		if u.traceEnd {
-			c.renameChecker.RollbackTo(u.renameSeq)
+		if c.renameChecker != nil {
+			c.renameChecker.RollbackTo(c.slots.renameSeq[idx])
 		}
 	}
 	c.renameSig.reset()
@@ -782,50 +819,148 @@ func (c *CPU) repairMispredict(seq uint64, target uint64) {
 
 // ---- issue ----
 
-func (c *CPU) sourceReady(s source) bool {
-	switch s.kind {
-	case srcReady:
-		return true
-	case srcPhantom:
-		return false
-	default:
-		if s.seq < c.robHead || s.seq >= c.robTail {
-			return true // committed or squashed
-		}
-		return c.at(s.seq).done
+// sourceReady reports whether a non-zero packed source word is satisfied.
+// The zero (ready) encoding is filtered by the caller, which keeps this
+// within the compiler's inlining budget for the issue scan.
+func (c *CPU) sourceReady(w uint64) bool {
+	if w >= srcWordPhantom {
+		return false // operand that can never become ready (fault-induced)
 	}
+	seq := w & srcSeqMask
+	if seq < c.robHead || seq >= c.robTail {
+		return true // committed or squashed
+	}
+	return c.slots.done.get(seq & c.robMask)
 }
 
 func (c *CPU) issueStage() {
+	if c.schedFaultHook != nil {
+		// Premature-issue injection needs to see the not-ready candidates the
+		// fast path never visits; use the polling scan.
+		c.issueStageSlow()
+		return
+	}
 	issued := 0
 	limit := c.robHead + uint64(c.cfg.IssueWindow)
 	if limit > c.robTail {
 		limit = c.robTail
 	}
-	for seq := c.robHead; seq < limit && issued < c.cfg.IssueWidth; seq++ {
-		u := c.at(seq)
-		if u.issued || u.done {
-			continue
+	width := c.cfg.IssueWidth
+	issuedCol, doneCol, readyCol := c.slots.issued, c.slots.done, c.slots.ready
+	// Walk the window one flag word at a time: one AND over the three bitset
+	// words yields exactly the issueable slots — readiness is maintained
+	// incrementally by wake, so no per-candidate operand polling happens here.
+	for seq := c.robHead; seq < limit && issued < width; {
+		idx := c.slot(seq)
+		off := idx & 63
+		span := 64 - off
+		if rem := limit - seq; rem < span {
+			span = rem
 		}
-		ready := true
-		for i := 0; i < u.nsrc; i++ {
-			if !c.sourceReady(u.srcs[i]) {
-				ready = false
-				break
+		if wrap := uint64(c.slots.capacity) - idx; wrap < span {
+			span = wrap // the ring wraps mid-word for rings shorter than 64
+		}
+		cand := (readyCol[idx>>6] &^ (issuedCol[idx>>6] | doneCol[idx>>6])) >> off
+		if span < 64 {
+			cand &= 1<<span - 1
+		}
+		for cand != 0 && issued < width {
+			b := uint64(bits.TrailingZeros64(cand))
+			cand &= cand - 1
+			s := seq + b
+			si := c.slot(s)
+			issuedCol.set(si)
+			dc := uint64(c.cycle + int64(c.slots.lat[si]))
+			c.slots.doneCycle[si] = dc
+			c.wheel[dc&wheelMask] = append(c.wheel[dc&wheelMask], s)
+			issued++
+		}
+		seq += span
+	}
+}
+
+// issueStageSlow is the readiness-polling scan, semantically identical to the
+// fast path for every slot the fast path would issue, but additionally
+// offering each not-ready candidate to the scheduler fault hook. It must not
+// modify the source words: the wakeup bookkeeping (pending counts, producer
+// lists) stays live underneath so the fast path is always re-entrant.
+func (c *CPU) issueStageSlow() {
+	issued := 0
+	limit := c.robHead + uint64(c.cfg.IssueWindow)
+	if limit > c.robTail {
+		limit = c.robTail
+	}
+	width := c.cfg.IssueWidth
+	issuedCol, doneCol := c.slots.issued, c.slots.done
+	for seq := c.robHead; seq < limit && issued < width; {
+		idx := c.slot(seq)
+		off := idx & 63
+		span := 64 - off
+		if rem := limit - seq; rem < span {
+			span = rem
+		}
+		if wrap := uint64(c.slots.capacity) - idx; wrap < span {
+			span = wrap
+		}
+		cand := ^(issuedCol[idx>>6] | doneCol[idx>>6]) >> off
+		if span < 64 {
+			cand &= 1<<span - 1
+		}
+		for cand != 0 && issued < width {
+			b := uint64(bits.TrailingZeros64(cand))
+			cand &= cand - 1
+			s := seq + b
+			si := c.slot(s)
+			srcs := c.slots.srcs[si*3 : si*3+3 : si*3+3]
+			ready := true
+			for k := 0; k < 3; k++ {
+				if w := srcs[k]; w != 0 && !c.sourceReady(w) {
+					ready = false
+				}
+			}
+			if !ready {
+				// A scheduler transient can fire the instruction anyway.
+				if c.schedFaultHook(int64(c.slots.decodeIndex[si])) {
+					c.tacPrematureIssue(s)
+				} else {
+					continue
+				}
+			}
+			issuedCol.set(si)
+			dc := uint64(c.cycle + int64(c.slots.lat[si]))
+			c.slots.doneCycle[si] = dc
+			c.wheel[dc&wheelMask] = append(c.wheel[dc&wheelMask], s)
+			issued++
+		}
+		seq += span
+	}
+}
+
+// wake satisfies every source word waiting on the completed producer at slot
+// pidx (sequence pseq): each registered waiter's word is cleared and its
+// pending count dropped, setting the ready bit when the last operand arrives.
+// Nodes are validated against the exact packed word before acting, so links
+// stranded by slot recycling skip harmlessly; the step bound caps walks over
+// next-pointers corrupted the same way (a corrupted hop can only skip or
+// correctly wake, never mis-wake).
+func (c *CPU) wake(pidx, pseq uint64) {
+	n := c.slots.wakeHead[pidx]
+	if n == wakeNone {
+		return
+	}
+	c.slots.wakeHead[pidx] = wakeNone
+	want := srcWordSeq | pseq
+	for steps := 3 * c.slots.capacity; n != wakeNone && steps > 0; steps-- {
+		next := c.slots.wakeNext[n]
+		if c.slots.srcs[n] == want {
+			c.slots.srcs[n] = 0
+			ci := n / 3
+			c.slots.pending[ci]--
+			if c.slots.pending[ci] == 0 {
+				c.slots.ready.set(ci)
 			}
 		}
-		if !ready {
-			// A scheduler transient can fire the instruction anyway.
-			if c.schedFaultHook != nil && c.schedFaultHook(u.decodeIndex) {
-				c.tacPrematureIssue(seq)
-			} else {
-				continue
-			}
-		}
-		u.issued = true
-		u.doneCycle = c.cycle + int64(isa.LatCycles(u.d.Lat))
-		c.executing = append(c.executing, seq)
-		issued++
+		n = next
 	}
 }
 
@@ -887,18 +1022,31 @@ func (c *CPU) dispatchStage() {
 			}
 		}
 
-		// Build the uop directly in its ROB slot; the slot is invisible
-		// until robTail advances, so nothing observes it half-built.
+		// Build the uop directly in its ROB slot columns; the slot is
+		// invisible until robTail advances, so nothing observes it
+		// half-built. Every column a recycled slot may carry stale data in
+		// is rewritten here (the flags word is accumulated locally and
+		// stored once, below).
 		seq := c.robTail
-		u := c.at(seq)
-		*u = uop{
-			valid:       true,
-			pc:          fi.pc,
-			predNext:    fi.predNext,
-			d:           d,
-			decodeIndex: c.decodeEvents,
-			wrongPath:   c.wrongPathArmed,
+		idx := c.slot(seq)
+		wrongPath := c.wrongPathArmed
+		flags := slotValid
+		if wrongPath {
+			flags |= slotWrongPath
 		}
+		if d.IsBranching() {
+			flags |= slotBranching
+		}
+		if d.HasFlag(isa.FlagUncond) {
+			flags |= slotUncond
+		}
+		c.slots.issued.clear(idx)
+		c.slots.done.clear(idx)
+		c.slots.pc[idx] = fi.pc
+		c.slots.predNext[idx] = fi.predNext
+		c.slots.d[idx] = d
+		c.slots.decodeIndex[idx] = uint64(c.decodeEvents)
+		c.slots.lat[idx] = uint64(isa.LatCycles(d.Lat))
 
 		// Rename stage: the map indexes are derived from the decode
 		// signals; a rename-stage fault corrupts them without touching the
@@ -915,40 +1063,47 @@ func (c *CPU) dispatchStage() {
 			}
 		}
 
-		if !u.wrongPath {
-			u.outcome = c.spec.exec(exe, fi.pc)
+		out := &c.slots.outcome[idx]
+		if wrongPath {
+			*out = isa.Outcome{}
+		} else {
+			c.spec.execInto(out, exe, fi.pc)
 		}
 
-		c.collectSources(u)
+		c.collectSources(idx, d)
 		c.robTail++
 
-		if u.d.NumRdst == 1 && !u.wrongPath {
+		if d.NumRdst == 1 && !wrongPath {
 			file := 0
-			if u.d.HasFlag(isa.FlagFP) {
+			if d.HasFlag(isa.FlagFP) {
 				file = 1
 			}
-			if !(file == 0 && u.d.Rdst == 0) {
-				c.prod[file][u.d.Rdst&0x1f] = producer{valid: true, seq: seq}
+			if !(file == 0 && d.Rdst == 0) {
+				c.prod[file][d.Rdst&0x1f] = producer{valid: true, seq: seq}
 			}
 		}
 
 		// Trace formation at decode; trace ends dispatch into the ITR ROB
 		// and access the ITR cache (Section 2.2).
-		if ev, done := c.former.StepWord(fi.pc, w); done {
-			u.traceEnd = true
+		if c.former.StepTerm(fi.pc, w) {
+			ev := c.former.Take(w)
+			flags |= slotTraceEnd
 			if c.checker != nil {
-				u.itrSeq, _ = c.checker.DispatchTrace(ev, u.wrongPath)
+				itrSeq, _ := c.checker.DispatchTrace(ev, wrongPath)
+				c.slots.itrSeq[idx] = itrSeq
 			}
 			if c.renameChecker != nil {
 				rev := ev
 				rev.Sig = c.renameSig.takeSig()
-				u.renameSeq, _ = c.renameChecker.DispatchTrace(rev, u.wrongPath)
+				renameSeq, _ := c.renameChecker.DispatchTrace(rev, wrongPath)
+				c.slots.renameSeq[idx] = renameSeq
 			}
 		}
+		c.slots.flags[idx] = flags
 
 		// Misprediction detection: the functional outcome of a correct-path
 		// branch is known at dispatch; the repair happens at resolve.
-		if !u.wrongPath && d.IsBranching() && u.outcome.NextPC != fi.predNext {
+		if !wrongPath && d.IsBranching() && out.NextPC != fi.predNext {
 			c.wrongPathArmed = true
 			c.wrongPathFrom = seq
 		}
@@ -962,39 +1117,70 @@ func (c *CPU) dispatchStage() {
 }
 
 // collectSources derives the scheduler's operand dependences from the
-// (possibly corrupted) signal vector: num_rsrc names how many operands the
-// instruction waits for; a num_rsrc of 3 waits forever (deadlock, caught by
-// the watchdog).
-func (c *CPU) collectSources(u *uop) {
+// (possibly corrupted) signal vector, writing the slot's three packed source
+// words (zero = ready, so unused operand slots need no count): num_rsrc names
+// how many operands the instruction waits for; a num_rsrc of 3 waits forever
+// (deadlock, caught by the watchdog).
+func (c *CPU) collectSources(idx uint64, d isa.DecodeSignals) {
+	srcs := c.slots.srcs[idx*3 : idx*3+3 : idx*3+3]
+	srcs[0], srcs[1], srcs[2] = 0, 0, 0
 	file := 0
-	if u.d.HasFlag(isa.FlagFP) && !u.d.HasFlag(isa.FlagLd) && !u.d.HasFlag(isa.FlagSt) {
+	if d.HasFlag(isa.FlagFP) && !d.HasFlag(isa.FlagLd) && !d.HasFlag(isa.FlagSt) {
 		file = 1
 	}
-	add := func(f int, r isa.RegID) {
-		s := source{kind: srcReady}
-		if !(f == 0 && r == 0) {
-			if p := c.prod[f][r&0x1f]; p.valid {
-				s = source{kind: srcSeq, seq: p.seq}
-			}
-		}
-		u.srcs[u.nsrc] = s
-		u.nsrc++
-	}
-	n := int(u.d.NumRsrc)
+	n := int(d.NumRsrc)
 	if n >= 1 {
-		add(file, u.d.Rsrc1)
+		srcs[0] = c.srcWord(file, d.Rsrc1)
 	}
 	if n >= 2 {
 		dataFile := file
-		if u.d.HasFlag(isa.FlagFP) && u.d.HasFlag(isa.FlagSt) {
+		if d.HasFlag(isa.FlagFP) && d.HasFlag(isa.FlagSt) {
 			dataFile = 1 // fp store data comes from the fp file
 		}
-		add(dataFile, u.d.Rsrc2)
+		srcs[1] = c.srcWord(dataFile, d.Rsrc2)
 	}
 	if n >= 3 {
-		u.srcs[u.nsrc] = source{kind: srcPhantom}
-		u.nsrc++
+		srcs[2] = srcWordPhantom
 	}
+
+	// Wakeup bookkeeping. This slot is a fresh producer: abandon whatever
+	// list a previous occupant left. Then resolve each operand once, here:
+	// words whose producer already completed (or left the window) clear to
+	// ready; the rest register on their producer's wakeup list and are never
+	// polled again.
+	c.slots.wakeHead[idx] = wakeNone
+	pending := uint64(0)
+	for k := uint64(0); k < 3; k++ {
+		w := srcs[k]
+		if w == 0 {
+			continue
+		}
+		if w < srcWordPhantom {
+			seq := w & srcSeqMask
+			pidx := seq & c.robMask
+			if seq < c.robHead || seq >= c.robTail || c.slots.done.get(pidx) {
+				srcs[k] = 0
+				continue
+			}
+			c.slots.wakeNext[idx*3+k] = c.slots.wakeHead[pidx]
+			c.slots.wakeHead[pidx] = idx*3 + k
+		}
+		pending++ // a phantom word registers nowhere: it can never wake
+	}
+	c.slots.pending[idx] = pending
+	c.slots.ready.put(idx, pending == 0)
+}
+
+// srcWord packs one operand dependence: the in-flight producer's sequence
+// number, or 0 (ready) for the hardwired zero register or a committed value.
+func (c *CPU) srcWord(f int, r isa.RegID) uint64 {
+	if f == 0 && r == 0 {
+		return 0
+	}
+	if p := &c.prod[f][r&0x1f]; p.valid {
+		return srcWordSeq | p.seq
+	}
+	return 0
 }
 
 // ---- fetch ----

@@ -64,12 +64,12 @@ func expectLockstep(t *testing.T, p *program.Program, cfg Config, maxCycles int6
 		t.Fatal(err)
 	}
 	idx := 0
-	cpu.SetCommitObserver(func(pc uint64, o isa.Outcome) {
+	cpu.SetCommitObserver(func(pc uint64, o *isa.Outcome) {
 		if idx >= len(want) {
 			t.Fatalf("committed more instructions than functional run (%d)", idx)
 		}
 		w := want[idx]
-		if pc != w.pc || !o.SameArchEffect(w.o) {
+		if pc != w.pc || !o.SameArchEffect(&w.o) {
 			t.Fatalf("commit %d diverged: pipeline pc=%d %v, functional pc=%d %v",
 				idx, pc, o, w.pc, w.o)
 		}
@@ -151,12 +151,12 @@ func TestPipelineBenchmarkLockstep(t *testing.T) {
 	}
 	idx := 0
 	bad := false
-	cpu.SetCommitObserver(func(pc uint64, o isa.Outcome) {
+	cpu.SetCommitObserver(func(pc uint64, o *isa.Outcome) {
 		if bad || idx >= len(want) {
 			return
 		}
 		w := want[idx]
-		if pc != w.pc || !o.SameArchEffect(w.o) {
+		if pc != w.pc || !o.SameArchEffect(&w.o) {
 			t.Errorf("commit %d diverged: pipeline pc=%d, functional pc=%d", idx, pc, w.pc)
 			bad = true
 		}
@@ -192,12 +192,12 @@ func TestPipelineFPBenchmarkLockstep(t *testing.T) {
 		t.Fatal(err)
 	}
 	idx := 0
-	cpu.SetCommitObserver(func(pc uint64, o isa.Outcome) {
+	cpu.SetCommitObserver(func(pc uint64, o *isa.Outcome) {
 		if idx >= len(want) {
 			return
 		}
 		w := want[idx]
-		if pc != w.pc || !o.SameArchEffect(w.o) {
+		if pc != w.pc || !o.SameArchEffect(&w.o) {
 			t.Fatalf("commit %d diverged (pc %d vs %d)", idx, pc, w.pc)
 		}
 		idx++
@@ -253,9 +253,9 @@ func TestPipelineITRRecoversRdstFault(t *testing.T) {
 		return d
 	})
 	idx := 0
-	cpu.SetCommitObserver(func(pc uint64, o isa.Outcome) {
+	cpu.SetCommitObserver(func(pc uint64, o *isa.Outcome) {
 		w := want[idx]
-		if pc != w.pc || !o.SameArchEffect(w.o) {
+		if pc != w.pc || !o.SameArchEffect(&w.o) {
 			t.Fatalf("commit %d diverged after recovery: pc=%d vs %d", idx, pc, w.pc)
 		}
 		idx++
@@ -295,12 +295,12 @@ func TestPipelineObserveModeRecordsSDC(t *testing.T) {
 	})
 	diverged := false
 	idx := 0
-	cpu.SetCommitObserver(func(pc uint64, o isa.Outcome) {
+	cpu.SetCommitObserver(func(pc uint64, o *isa.Outcome) {
 		if diverged || idx >= len(want) {
 			return
 		}
 		w := want[idx]
-		if pc != w.pc || !o.SameArchEffect(w.o) {
+		if pc != w.pc || !o.SameArchEffect(&w.o) {
 			diverged = true
 		}
 		idx++

@@ -61,12 +61,12 @@ func TestPropertyRandomProgramsLockstep(t *testing.T) {
 				t.Fatal(err)
 			}
 			idx := 0
-			cpu.SetCommitObserver(func(pc uint64, o isa.Outcome) {
+			cpu.SetCommitObserver(func(pc uint64, o *isa.Outcome) {
 				if idx >= len(want) {
 					return
 				}
 				w := want[idx]
-				if pc != w.pc || !o.SameArchEffect(w.o) {
+				if pc != w.pc || !o.SameArchEffect(&w.o) {
 					t.Fatalf("seed %d: commit %d diverged (pc %d vs %d)", seed, idx, pc, w.pc)
 				}
 				idx++

@@ -44,12 +44,12 @@ func expectLockstepOn(t *testing.T, cpu *CPU) Result {
 	prog := cpu.prog
 	st.PC = prog.Entry
 	idx := 0
-	cpu.SetCommitObserver(func(pc uint64, o isa.Outcome) {
+	cpu.SetCommitObserver(func(pc uint64, o *isa.Outcome) {
 		if pc != st.PC {
 			t.Fatalf("commit %d: pc %d, functional %d", idx, pc, st.PC)
 		}
 		want := st.Step(prog.Fetch(pc))
-		if !o.SameArchEffect(want) {
+		if !o.SameArchEffect(&want) {
 			t.Fatalf("commit %d diverged at pc %d", idx, pc)
 		}
 		idx++

@@ -29,7 +29,7 @@ func TestRenameFaultInvisibleToFrontendITR(t *testing.T) {
 	st := isa.NewArchState()
 	st.PC = p.Entry
 	diverged := false
-	cpu.SetCommitObserver(func(pc uint64, o isa.Outcome) {
+	cpu.SetCommitObserver(func(pc uint64, o *isa.Outcome) {
 		if diverged {
 			return
 		}
@@ -38,7 +38,7 @@ func TestRenameFaultInvisibleToFrontendITR(t *testing.T) {
 			return
 		}
 		want := st.Step(p.Fetch(pc))
-		if !o.SameArchEffect(want) {
+		if !o.SameArchEffect(&want) {
 			diverged = true
 		}
 	})
@@ -71,12 +71,12 @@ func TestRenameITRDetectsAndRecoversRenameFault(t *testing.T) {
 	st := isa.NewArchState()
 	st.PC = p.Entry
 	idx := 0
-	cpu.SetCommitObserver(func(pc uint64, o isa.Outcome) {
+	cpu.SetCommitObserver(func(pc uint64, o *isa.Outcome) {
 		if pc != st.PC {
 			t.Fatalf("commit %d: pc %d, functional %d", idx, pc, st.PC)
 		}
 		want := st.Step(p.Fetch(pc))
-		if !o.SameArchEffect(want) {
+		if !o.SameArchEffect(&want) {
 			t.Fatalf("commit %d diverged at pc %d", idx, pc)
 		}
 		idx++

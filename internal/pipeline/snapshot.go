@@ -40,7 +40,7 @@ type Snapshot struct {
 	pc           uint64
 
 	specR, specF [isa.NumRegs]uint64
-	overlay      map[uint64]uint64
+	overlay      map[uint64]specWord
 
 	predBTB     []btbEntry
 	predGshare  []uint8
@@ -53,9 +53,9 @@ type Snapshot struct {
 	ckpt          *checkpoint.State
 	former        trace.Former
 
-	rob              []uop
+	slots            robSlots
 	robHead, robTail uint64
-	executing        []uint64
+	wheel            [wheelSlots][]uint64
 	prod             [2][isa.NumRegs]producer
 	fetchQ           []fetchedInst
 	fetchPC          uint64
@@ -139,7 +139,7 @@ func (c *CPU) Snapshot() *Snapshot {
 
 		specR:   c.spec.arch.R,
 		specF:   c.spec.arch.F,
-		overlay: make(map[uint64]uint64, len(c.spec.overlay.words)),
+		overlay: make(map[uint64]specWord, len(c.spec.overlay.words)),
 
 		predBTB:     make([]btbEntry, len(c.pred.btb)),
 		predGshare:  make([]uint8, len(c.pred.gshare)),
@@ -149,11 +149,10 @@ func (c *CPU) Snapshot() *Snapshot {
 		renameSig: c.renameSig,
 		former:    c.former,
 
-		rob:       make([]uop, len(c.rob)),
-		robHead:   c.robHead,
-		robTail:   c.robTail,
-		executing: append([]uint64(nil), c.executing...),
-		prod:      c.prod,
+		slots:   c.slots.clone(),
+		robHead: c.robHead,
+		robTail: c.robTail,
+		prod:    c.prod,
 		fetchQ:    make([]fetchedInst, 0, c.fqLen()),
 		fetchPC:   c.fetchPC,
 		haltSeen:  c.haltSeen,
@@ -178,6 +177,9 @@ func (c *CPU) Snapshot() *Snapshot {
 		terminated:  c.terminated,
 		termination: c.termination,
 	}
+	for i := range c.wheel {
+		s.wheel[i] = append([]uint64(nil), c.wheel[i]...)
+	}
 	for k, v := range c.spec.overlay.words {
 		s.overlay[k] = v
 	}
@@ -187,7 +189,6 @@ func (c *CPU) Snapshot() *Snapshot {
 	}
 	copy(s.predBTB, c.pred.btb)
 	copy(s.predGshare, c.pred.gshare)
-	copy(s.rob, c.rob)
 	if c.checker != nil {
 		s.checker = c.checker.CaptureState()
 	}
@@ -233,7 +234,7 @@ func (c *CPU) Restore(s *Snapshot) error {
 
 	c.spec.arch.R = s.specR
 	c.spec.arch.F = s.specF
-	c.spec.overlay.words = make(map[uint64]uint64, len(s.overlay))
+	c.spec.overlay.words = make(map[uint64]specWord, len(s.overlay))
 	for k, v := range s.overlay {
 		c.spec.overlay.words[k] = v
 	}
@@ -259,10 +260,12 @@ func (c *CPU) Restore(s *Snapshot) error {
 	c.renameSig = s.renameSig
 	c.former = s.former
 
-	copy(c.rob, s.rob)
+	c.slots.copyFrom(&s.slots)
 	c.robHead = s.robHead
 	c.robTail = s.robTail
-	c.executing = append(c.executing[:0], s.executing...)
+	for i := range c.wheel {
+		c.wheel[i] = append(c.wheel[i][:0], s.wheel[i]...)
+	}
 	c.prod = s.prod
 	c.fqHead, c.fqTail = 0, uint64(len(s.fetchQ))
 	copy(c.fq, s.fetchQ) // len(s.fetchQ) <= cfg.FetchQueue <= len(c.fq)

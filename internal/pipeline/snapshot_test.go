@@ -40,8 +40,8 @@ func TestSnapshotResumeBitIdentical(t *testing.T) {
 				t.Fatal(err)
 			}
 			var coldStream []commitRecord
-			cold.SetCommitObserver(func(pc uint64, o isa.Outcome) {
-				coldStream = append(coldStream, commitRecord{pc, o})
+			cold.SetCommitObserver(func(pc uint64, o *isa.Outcome) {
+				coldStream = append(coldStream, commitRecord{pc, *o})
 			})
 			cold.RunUntilDecode(budget, snapAt)
 			snap := cold.Snapshot()
@@ -59,8 +59,8 @@ func TestSnapshotResumeBitIdentical(t *testing.T) {
 				t.Fatal(err)
 			}
 			var warmStream []commitRecord
-			warm.SetCommitObserver(func(pc uint64, o isa.Outcome) {
-				warmStream = append(warmStream, commitRecord{pc, o})
+			warm.SetCommitObserver(func(pc uint64, o *isa.Outcome) {
+				warmStream = append(warmStream, commitRecord{pc, *o})
 			})
 			if err := warm.Restore(snap); err != nil {
 				t.Fatal(err)
@@ -117,8 +117,8 @@ func TestSnapshotResumeWithFault(t *testing.T) {
 		t.Fatal(err)
 	}
 	var coldStream []commitRecord
-	cold.SetCommitObserver(func(pc uint64, o isa.Outcome) {
-		coldStream = append(coldStream, commitRecord{pc, o})
+	cold.SetCommitObserver(func(pc uint64, o *isa.Outcome) {
+		coldStream = append(coldStream, commitRecord{pc, *o})
 	})
 	cold.SetFaultHook(flipHook())
 	cold.RunUntilDecode(budget, snapAt)
@@ -131,8 +131,8 @@ func TestSnapshotResumeWithFault(t *testing.T) {
 		t.Fatal(err)
 	}
 	var warmStream []commitRecord
-	warm.SetCommitObserver(func(pc uint64, o isa.Outcome) {
-		warmStream = append(warmStream, commitRecord{pc, o})
+	warm.SetCommitObserver(func(pc uint64, o *isa.Outcome) {
+		warmStream = append(warmStream, commitRecord{pc, *o})
 	})
 	if err := warm.Restore(snap); err != nil {
 		t.Fatal(err)

@@ -6,21 +6,36 @@ import "itr/internal/isa"
 // word-granular overlay of in-flight (uncommitted) stores. Flushing the
 // pipeline discards the overlay, rolling memory back to the committed image
 // without copying it.
+//
+// Each entry carries the merged speculative word plus a count of the
+// in-flight stores that wrote it. When a store commits (committed memory now
+// holds its effect) the count drops, and the entry is deleted with the last
+// one: the overlay holds only genuinely in-flight words — at most a
+// ROB-window's worth — so speculative loads in store-free stretches hit the
+// empty-map fast path instead of paying a lookup against every store the run
+// ever made.
+type specWord struct {
+	word uint64 // merged speculative value of the aligned 8-byte word
+	refs uint32 // in-flight (dispatched, uncommitted) stores to this word
+}
+
 type storeOverlay struct {
 	base  *isa.Memory
-	words map[uint64]uint64 // 8-byte-aligned address -> speculative word
+	words map[uint64]specWord // 8-byte-aligned address -> speculative word
 }
 
 var _ isa.MemBus = (*storeOverlay)(nil)
 
 func newStoreOverlay(base *isa.Memory) *storeOverlay {
-	return &storeOverlay{base: base, words: make(map[uint64]uint64)}
+	return &storeOverlay{base: base, words: make(map[uint64]specWord)}
 }
 
 // word returns the current speculative value of the aligned 8-byte word.
 func (o *storeOverlay) word(wa uint64) uint64 {
-	if v, ok := o.words[wa]; ok {
-		return v
+	if len(o.words) != 0 {
+		if e, ok := o.words[wa]; ok {
+			return e.word
+		}
 	}
 	return o.base.Load(wa, 8)
 }
@@ -54,26 +69,45 @@ func (o *storeOverlay) Store(addr uint64, size uint8, v uint64) {
 	}
 	addr &^= uint64(size) - 1
 	wa := addr &^ 7
-	w := o.word(wa)
+	e, ok := o.words[wa]
+	if !ok {
+		e.word = o.base.Load(wa, 8)
+	}
 	shift := (addr & 7) * 8
 	switch size {
 	case 1:
-		w = w&^(uint64(0xff)<<shift) | (v&0xff)<<shift
+		e.word = e.word&^(uint64(0xff)<<shift) | (v&0xff)<<shift
 	case 2:
-		w = w&^(uint64(0xffff)<<shift) | (v&0xffff)<<shift
+		e.word = e.word&^(uint64(0xffff)<<shift) | (v&0xffff)<<shift
 	case 4:
-		w = w&^(uint64(0xffffffff)<<shift) | (v&0xffffffff)<<shift
+		e.word = e.word&^(uint64(0xffffffff)<<shift) | (v&0xffffffff)<<shift
 	default:
-		w = v
+		e.word = v
 	}
-	o.words[wa] = w
+	e.refs++
+	o.words[wa] = e
+}
+
+// commitStore releases one in-flight store to the word holding addr. The
+// last release deletes the entry: the commit stage has just applied the
+// store to committed memory, which therefore now equals the merged word.
+func (o *storeOverlay) commitStore(addr uint64) {
+	wa := addr &^ 7
+	e, ok := o.words[wa]
+	if !ok {
+		return
+	}
+	if e.refs <= 1 {
+		delete(o.words, wa)
+		return
+	}
+	e.refs--
+	o.words[wa] = e
 }
 
 // Reset discards all speculative words (pipeline flush).
 func (o *storeOverlay) Reset() {
-	if len(o.words) > 0 {
-		o.words = make(map[uint64]uint64)
-	}
+	clear(o.words)
 }
 
 // specState is the dispatch-time execution view: speculative register files
@@ -92,11 +126,11 @@ func newSpecState(committed *isa.ArchState, mem *isa.Memory) *specState {
 	return s
 }
 
-// exec computes and speculatively applies one instruction's outcome.
-func (s *specState) exec(d isa.DecodeSignals, pc uint64) isa.Outcome {
-	o := s.arch.Exec(d, pc)
-	s.arch.Apply(o)
-	return o
+// execInto computes one instruction's outcome into *o and speculatively
+// applies it; dispatch passes a pointer straight into the ROB outcome column.
+func (s *specState) execInto(o *isa.Outcome, d isa.DecodeSignals, pc uint64) {
+	s.arch.ExecInto(o, d, pc)
+	s.arch.ApplyRef(o)
 }
 
 // restore rolls the speculative view back to the committed state.

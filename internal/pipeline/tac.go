@@ -41,26 +41,27 @@ func (c *CPU) TAC() TACStats { return c.tac }
 // — the instruction consumes stale register values — by recomputing its
 // outcome against the committed (pre-producer) state.
 func (c *CPU) tacPrematureIssue(seq uint64) {
-	u := c.at(seq)
-	if u.wrongPath {
+	idx := c.slot(seq)
+	if c.slots.flags[idx]&slotWrongPath != 0 {
 		return
 	}
 	// Recompute with committed (stale) register values: the speculative
 	// producers' results are exactly what a premature issue misses.
 	stale := *c.committed
 	stale.Mem = c.spec.overlay
-	u.outcome = stale.Exec(u.d, u.pc)
-	u.tacViolated = true
+	c.slots.outcome[idx] = stale.Exec(c.slots.d[idx], c.slots.pc[idx])
+	c.slots.flags[idx] |= slotTACViolated
 }
 
-// tacCommitCheck asserts the issue-order invariant for a committing uop.
-// It returns true when a violation was detected (the caller flushes).
-func (c *CPU) tacCommitCheck(u *uop) bool {
+// tacCommitCheck asserts the issue-order invariant for the committing uop,
+// given its flags word. It returns true when a violation was detected (the
+// caller flushes).
+func (c *CPU) tacCommitCheck(flags uint64) bool {
 	if !c.cfg.TACEnabled {
 		return false
 	}
 	c.tac.Checked++
-	if !u.tacViolated {
+	if flags&slotTACViolated == 0 {
 		return false
 	}
 	c.tac.Violations++

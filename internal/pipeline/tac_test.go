@@ -30,7 +30,7 @@ func TestSchedulerFaultCausesSDCWithoutTAC(t *testing.T) {
 	st := isa.NewArchState()
 	st.PC = p.Entry
 	diverged := false
-	cpu.SetCommitObserver(func(pc uint64, o isa.Outcome) {
+	cpu.SetCommitObserver(func(pc uint64, o *isa.Outcome) {
 		if diverged {
 			return
 		}
@@ -39,7 +39,7 @@ func TestSchedulerFaultCausesSDCWithoutTAC(t *testing.T) {
 			return
 		}
 		want := st.Step(p.Fetch(pc))
-		if !o.SameArchEffect(want) {
+		if !o.SameArchEffect(&want) {
 			diverged = true
 		}
 	})
@@ -68,12 +68,12 @@ func TestTACDetectsAndRecoversSchedulerFault(t *testing.T) {
 	st := isa.NewArchState()
 	st.PC = p.Entry
 	idx := 0
-	cpu.SetCommitObserver(func(pc uint64, o isa.Outcome) {
+	cpu.SetCommitObserver(func(pc uint64, o *isa.Outcome) {
 		if pc != st.PC {
 			t.Fatalf("commit %d: pc %d, functional %d", idx, pc, st.PC)
 		}
 		want := st.Step(p.Fetch(pc))
-		if !o.SameArchEffect(want) {
+		if !o.SameArchEffect(&want) {
 			t.Fatalf("commit %d diverged at pc %d (TAC failed to stop the stale result)", idx, pc)
 		}
 		idx++

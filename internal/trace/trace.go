@@ -45,20 +45,44 @@ func (f *Former) Step(pc uint64, d isa.DecodeSignals) (ev Event, done bool) {
 
 // StepWord is Step for callers that already hold the instruction's packed
 // signal word — the decode-memoization fast path (program.DecodeTable): one
-// XOR plus a flag test per dynamic instruction, no signal-vector build.
-func (f *Former) StepWord(pc uint64, w uint64) (ev Event, done bool) {
+// XOR plus a flag test per dynamic instruction, no signal-vector build. The
+// common mid-trace step inlines into the caller; only a trace-terminating
+// instruction (roughly one in five) pays the outlined completion call.
+func (f *Former) StepWord(pc uint64, w uint64) (Event, bool) {
+	if f.StepTerm(pc, w) {
+		return f.complete(w), true
+	}
+	return Event{}, false
+}
+
+// StepTerm folds one instruction into the open trace and reports whether it
+// terminates the trace. It exists as the inlinable core of StepWord for the
+// per-dispatch hot loop: a caller holding the packed word tests termination
+// here (no Event materializes mid-trace) and collects the completed trace
+// with Take only on the terminating instruction.
+func (f *Former) StepTerm(pc uint64, w uint64) bool {
 	if !f.open {
 		f.startPC = pc
 		f.open = true
 	}
 	f.acc.Add(w)
-	if branch := isa.WordIsBranching(w); branch || f.acc.Full() {
-		ev = Event{StartPC: f.startPC, Len: f.acc.Len(), Sig: f.acc.Value(), Branch: branch}
-		f.acc.Reset()
-		f.open = false
-		return ev, true
-	}
-	return Event{}, false
+	return isa.WordIsBranching(w) || f.acc.Full()
+}
+
+// Take closes the trace StepTerm just reported terminated, returning its
+// Event. w must be the same word passed to the terminating StepTerm.
+func (f *Former) Take(w uint64) Event { return f.complete(w) }
+
+// complete closes the open trace: the terminating instruction's word has
+// already been folded into the accumulator. Kept out of line so StepWord
+// stays within the compiler's inlining budget.
+//
+//go:noinline
+func (f *Former) complete(w uint64) Event {
+	ev := Event{StartPC: f.startPC, Len: f.acc.Len(), Sig: f.acc.Value(), Branch: isa.WordIsBranching(w)}
+	f.acc.Reset()
+	f.open = false
+	return ev
 }
 
 // Pending returns the number of instructions accumulated into the currently

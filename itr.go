@@ -27,8 +27,8 @@
 //   - internal/asm       — text assembler/disassembler for the ISA
 //   - internal/report    — regeneration of every table and figure
 //
-// The cmd tools (itrchar, itrcoverage, itrfault, itrenergy, itrsim,
-// itrdump) print the paper's tables and figures; the examples directory
+// The `itr` CLI (subcommands char, coverage, fault, energy, sim, dump)
+// prints the paper's tables and figures; the examples directory
 // shows the library API on progressively richer scenarios, ending with
 // examples/regimen — the full check regimen recovering three distinct
 // fault types in one verified run.

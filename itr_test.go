@@ -127,7 +127,7 @@ func TestFacadeEndToEndLockstep(t *testing.T) {
 	}
 	mismatch := false
 	n := 0
-	cpu.SetCommitObserver(func(pc uint64, o isa.Outcome) {
+	cpu.SetCommitObserver(func(pc uint64, o *isa.Outcome) {
 		if mismatch {
 			return
 		}
@@ -136,7 +136,7 @@ func TestFacadeEndToEndLockstep(t *testing.T) {
 			return
 		}
 		want := st.Step(prog.Fetch(pc))
-		if !o.SameArchEffect(want) {
+		if !o.SameArchEffect(&want) {
 			mismatch = true
 		}
 		n++
