@@ -272,8 +272,8 @@ func snapshotBenchCPU(b *testing.B) *pipeline.CPU {
 	pb := program.NewBuilder("stride")
 	pb.LoadImm64(2, 0xabcd)
 	pb.Label("outer")
-	pb.LoadImm64(1, 0)          // r1: store pointer
-	pb.LoadImm64(3, pages)      // r3: pages left this sweep
+	pb.LoadImm64(1, 0)     // r1: store pointer
+	pb.LoadImm64(3, pages) // r3: pages left this sweep
 	pb.Label("loop")
 	pb.Store(isa.OpSd, 2, 1, 0) // dirty the page under r1
 	pb.OpImm(isa.OpAddi, 1, 1, 4096)
@@ -474,6 +474,46 @@ func BenchmarkPipelineCycle(b *testing.B) {
 	b.ResetTimer()
 	res := cpu.Run(int64(b.N))
 	b.ReportMetric(res.IPC(), "ipc")
+}
+
+// BenchmarkDetectorOverhead measures per-cycle pipeline cost under each
+// detection backend against a detector-off machine, so the price of the
+// rivals' replay work (and the ITR fast path's devirtualization) is visible
+// as ns/cycle side by side.
+func BenchmarkDetectorOverhead(b *testing.B) {
+	prof, err := workload.ByName("gap")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := workload.CachedProgram(prof)
+	if err != nil {
+		b.Fatal(err)
+	}
+	backends := []struct {
+		name     string
+		detector string
+		enabled  bool
+	}{
+		{"off", "", false},
+		{"itr", "itr", true},
+		{"reptfd", "reptfd", true},
+		{"dme", "dme", true},
+	}
+	for _, bk := range backends {
+		b.Run(bk.name, func(b *testing.B) {
+			cfg := pipeline.DefaultConfig()
+			cfg.ITREnabled = bk.enabled
+			cfg.Detector = bk.detector
+			cpu, err := pipeline.New(prog, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			res := cpu.Run(int64(b.N))
+			b.ReportMetric(res.IPC(), "ipc")
+		})
+	}
 }
 
 // BenchmarkCoverageReplay measures trace-event replay throughput (the inner

@@ -168,3 +168,22 @@ const InstsPerICacheAccess = 2
 func RedundantFetchAccesses(dynInsts int64) int64 {
 	return dynInsts / InstsPerICacheAccess
 }
+
+// DetectorEnergyMJ maps a detection backend to its Section 5-style energy
+// cost over one window, given the two measured ingredients: itrCacheMJ, the
+// ITR cache's access-stream energy, and redundantFetchMJ, the I-cache energy
+// of re-fetching every committed instruction once. The ITR checker pays only
+// its cache stream; RepTFD-style chunked replay re-fetches each instruction
+// once to rebuild the reference digest; DME-style divergent dual execution
+// both re-fetches and re-executes, modeled as twice the redundant-fetch
+// stream (fetch plus an execution pass of comparable datapath energy).
+func DetectorEnergyMJ(detector string, itrCacheMJ, redundantFetchMJ float64) float64 {
+	switch detector {
+	case "reptfd":
+		return redundantFetchMJ
+	case "dme":
+		return 2 * redundantFetchMJ
+	default: // "itr" and the empty default
+		return itrCacheMJ
+	}
+}

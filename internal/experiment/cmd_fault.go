@@ -4,8 +4,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"itr/internal/detect"
 	"itr/internal/fault"
 	"itr/internal/report"
 	"itr/internal/workload"
@@ -16,6 +18,8 @@ func bindFault(fs *flag.FlagSet, s *Spec) {
 	fs.Int64Var(&s.Campaign.Window, "window", s.Campaign.Window, "observation window in cycles (paper: 1,000,000)")
 	fs.StringVar(&s.Bench, "bench", s.Bench, "restrict to one benchmark")
 	fs.Uint64Var(&s.Seed, "seed", s.Seed, "campaign seed")
+	fs.StringVar(&s.Detector, "detector", s.Detector,
+		fmt.Sprintf("detection backend: %s (default itr)", strings.Join(detect.Names(), ", ")))
 	fs.Var(negBool{&s.Campaign.NoVerify}, "verify", "confirm each recoverable detection with the full protocol")
 	fs.BoolVar(&s.Campaign.Fields, "fields", s.Campaign.Fields, "also tally injections by Table 2 field")
 	fs.BoolVar(&s.Campaign.Checkpoint, "checkpoint", s.Campaign.Checkpoint, "enable coarse-grain checkpointing in verify runs (Section 2.3 extension)")
@@ -36,6 +40,13 @@ func runFault(e *Engine) error {
 	s := e.Spec
 	w := e.out
 
+	if !detect.Known(s.Detector) {
+		return fmt.Errorf("unknown detector backend %q (have %s)", s.Detector, strings.Join(detect.Names(), ", "))
+	}
+	if s.Campaign.CacheFaults > 0 && detect.Canonical(s.Detector) != detect.NameITR {
+		return fmt.Errorf("-cache studies the ITR signature cache and requires -detector=itr")
+	}
+
 	cfg := fault.DefaultCampaignConfig()
 	cfg.Faults = s.Campaign.Faults
 	cfg.Seed = s.Seed
@@ -45,6 +56,7 @@ func runFault(e *Engine) error {
 	cfg.Experiment.Verify = !s.Campaign.NoVerify
 	cfg.Experiment.Checkpoint = s.Campaign.Checkpoint
 	cfg.Experiment.SnapshotInterval = s.Campaign.SnapshotInterval
+	cfg.Experiment.Pipeline.Detector = s.Detector
 	cfg.Experiment.Pipeline.Probe = e.probe
 	e.manifest.SnapshotInterval = cfg.Experiment.EffectiveSnapshotInterval()
 
@@ -61,10 +73,17 @@ func runFault(e *Engine) error {
 	// benchmark-level report pool serial so the two do not multiply.
 	rep := e.reportEngine(1)
 
+	// The default backend keeps the historical header byte-for-byte; rivals
+	// name themselves instead of the ITR cache geometry.
+	backendDesc := "ITR cache 2-way/1024"
+	if name := detect.Canonical(s.Detector); name != detect.NameITR {
+		backendDesc = "detector " + name
+	}
+
 	var rows []report.Figure8Row
 	if err := e.stage("campaign", func() error {
-		fmt.Fprintf(w, "Figure 8. Fault injection results: %d faults/benchmark, %d-cycle window, ITR cache 2-way/1024.\n",
-			cfg.Faults, cfg.Experiment.WindowCycles)
+		fmt.Fprintf(w, "Figure 8. Fault injection results: %d faults/benchmark, %d-cycle window, %s.\n",
+			cfg.Faults, cfg.Experiment.WindowCycles, backendDesc)
 		start := time.Now()
 		var err error
 		rows, err = rep.Figure8(profiles, cfg)

@@ -1,0 +1,165 @@
+package experiment
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+	"time"
+
+	"itr/internal/detect"
+	"itr/internal/energy"
+	"itr/internal/fault"
+	"itr/internal/stats"
+	"itr/internal/workload"
+)
+
+func bindShootout(fs *flag.FlagSet, s *Spec) {
+	fs.IntVar(&s.Shootout.Faults, "faults", s.Shootout.Faults, "injections per benchmark per backend")
+	fs.Int64Var(&s.Shootout.Window, "window", s.Shootout.Window, "observation window in cycles")
+	fs.StringVar(&s.Shootout.Backends, "backends", s.Shootout.Backends,
+		fmt.Sprintf("comma-separated backend list (subset of %s)", strings.Join(detect.Names(), ",")))
+	fs.StringVar(&s.Bench, "bench", s.Bench, "restrict to one benchmark")
+	fs.Uint64Var(&s.Seed, "seed", s.Seed, "campaign seed (shared by every backend)")
+	fs.Var(negBool{&s.Shootout.NoVerify}, "verify", "confirm each recoverable detection with the full protocol")
+	fs.Int64Var(&s.Shootout.Scale, "scale", s.Shootout.Scale, "scale the energy estimate to this many committed instructions")
+	fs.Int64Var(&s.Budget, "budget", s.Budget, "dynamic-instruction budget for the energy measurement")
+	fs.IntVar(&s.Workers, "workers", s.Workers, "injection worker-pool width per campaign (0 = GOMAXPROCS); results are identical at any width")
+	fs.Int64Var(&s.Shootout.SnapshotInterval, "snapshot-interval", s.Shootout.SnapshotInterval,
+		fmt.Sprintf("decode events between pilot snapshots for campaign fast-forward (0 = default %d, negative = disabled)", fault.DefaultSnapshotInterval))
+}
+
+// parseBackends resolves the spec's comma-separated backend list into
+// canonical, deduplicated names, rejecting unknown entries.
+func parseBackends(csv string) ([]string, error) {
+	var names []string
+	seen := make(map[string]bool)
+	for _, f := range strings.Split(csv, ",") {
+		if strings.TrimSpace(f) == "" {
+			continue
+		}
+		if !detect.Known(f) {
+			return nil, fmt.Errorf("unknown detector backend %q (have %s)", strings.TrimSpace(f), strings.Join(detect.Names(), ", "))
+		}
+		name := detect.Canonical(f)
+		if !seen[name] {
+			seen[name] = true
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("empty backend list")
+	}
+	return names, nil
+}
+
+// runShootout races the detection backends against each other: one Figure 8
+// campaign per backend over the same injections (same seed, same windows),
+// one Figure 9-style energy measurement, and a closing table putting
+// per-backend coverage, detector telemetry and energy side by side. The
+// manifest records the same comparison as Manifest.Detectors.
+func runShootout(e *Engine) error {
+	s := e.Spec
+	w := e.out
+
+	backends, err := parseBackends(s.Shootout.Backends)
+	if err != nil {
+		return err
+	}
+
+	profiles := workload.CoverageSuite()
+	if s.Bench != "" {
+		p, err := workload.ByName(s.Bench)
+		if err != nil {
+			return err
+		}
+		profiles = []workload.Profile{p}
+	}
+
+	// Parallelism lives in the per-injection campaign pool (as in fault).
+	rep := e.reportEngine(1)
+
+	fmt.Fprintf(w, "Detector shootout: %d faults/benchmark, %d-cycle window, backends %s.\n",
+		s.Shootout.Faults, s.Shootout.Window, strings.Join(backends, ", "))
+
+	// One campaign per backend, same injection sample (the seed and window
+	// fix the decode-event draw, which is backend-independent: the pilot's
+	// fault-free trajectory does not depend on the detector).
+	runs := make([]DetectorRun, len(backends))
+	for i, name := range backends {
+		cfg := fault.DefaultCampaignConfig()
+		cfg.Faults = s.Shootout.Faults
+		cfg.Seed = s.Seed
+		cfg.Workers = s.Workers
+		cfg.Progress = e.camp
+		cfg.Experiment.WindowCycles = s.Shootout.Window
+		cfg.Experiment.Verify = !s.Shootout.NoVerify
+		cfg.Experiment.SnapshotInterval = s.Shootout.SnapshotInterval
+		cfg.Experiment.Pipeline.Detector = name
+		cfg.Experiment.Pipeline.Probe = e.probe
+
+		pollsBefore := e.probe.DetectorPolls.Load()
+		detBefore := e.probe.DetectorDetections.Load()
+		injBefore := e.camp.Injections.Load()
+		if err := e.stage("campaign-"+name, func() error {
+			start := time.Now()
+			rows, err := rep.Figure8(profiles, cfg)
+			if err != nil {
+				return err
+			}
+			var avgDet float64
+			for _, r := range rows {
+				avgDet += r.Result.DetectedPct()
+			}
+			if len(rows) > 0 {
+				avgDet /= float64(len(rows))
+			}
+			runs[i] = DetectorRun{Name: name, DetectedPct: avgDet}
+			fmt.Fprintf(w, "  %-7s %5.1f%% detected (%d campaigns in %v)\n",
+				name, avgDet, len(rows), time.Since(start).Round(time.Millisecond))
+			return nil
+		}); err != nil {
+			return err
+		}
+		runs[i].Polls = e.probe.DetectorPolls.Load() - pollsBefore
+		runs[i].Detections = e.probe.DetectorDetections.Load() - detBefore
+		runs[i].Injections = e.camp.Injections.Load() - injBefore
+	}
+
+	// One energy measurement feeds every backend's estimate: the ITR cache
+	// access stream and the redundant-fetch stream at the spec's scale.
+	var itrMJ, redMJ float64
+	if err := e.stage("energy", func() error {
+		rows, err := rep.Figure9(profiles, s.Budget, s.Shootout.Scale)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			itrMJ += r.ITRSinglePort
+			redMJ += r.ICacheRedFetch
+		}
+		if len(rows) > 0 {
+			itrMJ /= float64(len(rows))
+			redMJ /= float64(len(rows))
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	for i := range runs {
+		runs[i].EnergyMJ = energy.DetectorEnergyMJ(runs[i].Name, itrMJ, redMJ)
+	}
+	e.manifest.Detectors = runs
+
+	return e.stage("shootout-table", func() error {
+		fmt.Fprintf(w, "\nBackend comparison (Figure 8 coverage; energy per %d committed instructions):\n", s.Shootout.Scale)
+		t := stats.NewTable("backend", "detected (%)", "injections", "detections", "polls", "energy (mJ)")
+		for _, r := range runs {
+			t.AddRow(r.Name, r.DetectedPct, r.Injections, r.Detections, r.Polls, r.EnergyMJ)
+		}
+		fmt.Fprint(w, t.String())
+		fmt.Fprintln(w, "(itr pays one small-cache lookup per trace; reptfd re-fetches every")
+		fmt.Fprintln(w, " instruction to replay chunks, with detection latency up to a chunk;")
+		fmt.Fprintln(w, " dme re-fetches and re-executes everything for the tightest detection)")
+		return nil
+	})
+}

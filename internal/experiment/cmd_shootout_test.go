@@ -1,0 +1,34 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseBackends(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"itr,reptfd,dme", []string{"itr", "reptfd", "dme"}},
+		{"dme", []string{"dme"}},
+		{" ITR , dme ", []string{"itr", "dme"}},
+		{"itr,itr,reptfd", []string{"itr", "reptfd"}}, // deduplicated
+		{"itr,,dme", []string{"itr", "dme"}},          // empty fields skipped
+	}
+	for _, c := range cases {
+		got, err := parseBackends(c.in)
+		if err != nil {
+			t.Errorf("parseBackends(%q): %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("parseBackends(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, in := range []string{"", ",,", "itr,bogus", "replay"} {
+		if _, err := parseBackends(in); err == nil {
+			t.Errorf("parseBackends(%q) accepted", in)
+		}
+	}
+}

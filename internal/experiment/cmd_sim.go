@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 
 	"itr/internal/asm"
+	"itr/internal/detect"
 	"itr/internal/fault"
 	"itr/internal/isa"
 	"itr/internal/pipeline"
@@ -22,6 +24,8 @@ func bindSim(fs *flag.FlagSet, s *Spec) {
 	fs.Int64Var(&s.Sim.Cycles, "cycles", s.Sim.Cycles, "cycle budget")
 	fs.BoolVar(&s.Sim.PrintSignals, "print-signals", s.Sim.PrintSignals, "print the Table 2 decode-signal specification")
 	fs.BoolVar(&s.Sim.NoITR, "no-itr", s.Sim.NoITR, "disable the ITR checker")
+	fs.StringVar(&s.Detector, "detector", s.Detector,
+		fmt.Sprintf("detection backend: %s (default itr)", strings.Join(detect.Names(), ", ")))
 	fs.Int64Var(&s.Sim.Inject, "inject", s.Sim.Inject, "inject a fault at this decode event (0 = none)")
 	fs.IntVar(&s.Sim.Bit, "bit", s.Sim.Bit, "signal bit to flip when injecting (0-63)")
 	fs.IntVar(&s.Workers, "workers", s.Workers, "bound Go runtime parallelism (0 = all cores); sim runs one pipeline, so this only caps GC/runtime threads")
@@ -85,8 +89,12 @@ func runSim(e *Engine) error {
 			name = prof.Name
 		}
 
+		if !detect.Known(s.Detector) {
+			return fmt.Errorf("unknown detector backend %q (have %s)", s.Detector, strings.Join(detect.Names(), ", "))
+		}
 		cfg := pipeline.DefaultConfig()
 		cfg.ITREnabled = !s.Sim.NoITR
+		cfg.Detector = s.Detector
 		cfg.Probe = e.probe
 		cpu, err := pipeline.New(prog, cfg)
 		if err != nil {
@@ -119,6 +127,12 @@ func runSim(e *Engine) error {
 			st := c.Stats()
 			fmt.Fprintf(w, "ITR checker:    %d traces dispatched, %d hits, %d misses, %d writes\n",
 				st.Dispatched, st.Hits, st.Misses, st.Writes)
+			fmt.Fprintf(w, "                %d mismatches, %d retries, %d recoveries, %d machine checks\n",
+				st.Mismatches, st.Retries, st.Recoveries, st.MachineChecks)
+		} else if d := cpu.Detector(); d != nil {
+			st := d.Stats()
+			fmt.Fprintf(w, "%s detector: %d traces dispatched, %d insts replayed, %d chunks checked\n",
+				detect.Canonical(s.Detector), st.Dispatched, st.ReplayedInsts, st.ChunksChecked)
 			fmt.Fprintf(w, "                %d mismatches, %d retries, %d recoveries, %d machine checks\n",
 				st.Mismatches, st.Retries, st.Recoveries, st.MachineChecks)
 		}

@@ -216,6 +216,8 @@ func (e *Engine) finish() {
 	if t.Injections > 0 && e.manifest.WallClockSeconds > 0 {
 		t.InjectionsPerSec = float64(t.Injections) / e.manifest.WallClockSeconds
 	}
+	t.DetectorPolls = e.probe.DetectorPolls.Load()
+	t.DetectorDetections = e.probe.DetectorDetections.Load()
 }
 
 // writeManifest writes the run record to the spec's manifest path
@@ -293,6 +295,10 @@ func (e *Engine) startProgress() func() {
 				}
 				if inj > 0 {
 					line += fmt.Sprintf(", %d injections (%.1f/s)", inj, float64(inj)/elapsed)
+				}
+				if polls := e.probe.DetectorPolls.Load(); polls > 0 {
+					line += fmt.Sprintf(", %d detector polls (%d detections)",
+						polls, e.probe.DetectorDetections.Load())
 				}
 				fmt.Fprintln(e.Err, line)
 			}

@@ -35,8 +35,30 @@ type Manifest struct {
 	// Benchmarks aggregates per-benchmark work (sorted by name; one entry
 	// per benchmark that contributed timed work units).
 	Benchmarks []BenchTiming `json:"benchmarks,omitempty"`
+	// Detectors records per-backend results for shootout runs (one entry per
+	// backend, in the order run).
+	Detectors []DetectorRun `json:"detectors,omitempty"`
 	// Telemetry is the probe snapshot at the end of the run.
 	Telemetry Telemetry `json:"telemetry"`
+}
+
+// DetectorRun is one backend's slice of a shootout: its Figure 8 coverage,
+// the detector telemetry it accumulated, and its Figure 9-style energy
+// estimate.
+type DetectorRun struct {
+	Name string `json:"name"`
+	// DetectedPct is the campaign-average detection coverage (percent of
+	// injected faults the backend detected inside the window).
+	DetectedPct float64 `json:"detectedPct"`
+	// Injections and Detections count completed injection experiments and
+	// detector-observed mismatches across the backend's campaigns.
+	Injections int64 `json:"injections"`
+	Detections int64 `json:"detections"`
+	// Polls counts detector poll checks during the backend's campaigns.
+	Polls int64 `json:"polls"`
+	// EnergyMJ is the backend's detection-energy estimate over the spec's
+	// Scale instructions (energy.DetectorEnergyMJ).
+	EnergyMJ float64 `json:"energyMJ"`
 }
 
 // StageTiming is one sequential phase of a run.
@@ -88,6 +110,10 @@ type Telemetry struct {
 	// InjectionsPerSec is Injections over the run's wall clock.
 	Injections       int64   `json:"injections,omitempty"`
 	InjectionsPerSec float64 `json:"injectionsPerSec,omitempty"`
+	// DetectorPolls counts detection-backend poll checks at commit;
+	// DetectorDetections counts mismatches the backends observed.
+	DetectorPolls      int64 `json:"detectorPolls,omitempty"`
+	DetectorDetections int64 `json:"detectorDetections,omitempty"`
 }
 
 // Version returns a git-describe-style identifier for the running build:

@@ -37,6 +37,7 @@ func init() {
 		{Name: "dump", Summary: "inspect a benchmark program (disassembly, traces, mix)", Bind: bindDump, Run: runDump},
 		{Name: "energy", Summary: "Figure 9 and Section 5: energy and area comparison", Bind: bindEnergy, Run: runEnergy},
 		{Name: "fault", Summary: "Figure 8: the Section 4 fault-injection campaign", Bind: bindFault, Run: runFault},
+		{Name: "shootout", Summary: "race detector backends (itr, reptfd, dme) on coverage and energy", Bind: bindShootout, Run: runShootout},
 		{Name: "sim", Summary: "run one benchmark on the ITR-protected cycle-level core", Bind: bindSim, Run: runSim},
 		{Name: "run", Summary: "run an experiment declared in a JSON spec file", Bind: bindRun, Resolve: resolveRun},
 	}

@@ -57,6 +57,18 @@ func TestLegacyFlagParity(t *testing.T) {
 			}},
 		{"fault snapshot interval off", "fault", []string{"-snapshot-interval", "-1"},
 			func(s Spec) Spec { s.Campaign.SnapshotInterval = -1; return s }},
+		{"fault rival detector", "fault", []string{"-detector", "reptfd"},
+			func(s Spec) Spec { s.Detector = "reptfd"; return s }},
+		{"sim rival detector", "sim", []string{"-detector", "dme"},
+			func(s Spec) Spec { s.Detector = "dme"; return s }},
+		{"shootout defaults", "shootout", nil, func(s Spec) Spec { return s }},
+		{"shootout backends", "shootout", []string{"-backends", "itr,dme", "-faults", "7", "-verify=false"},
+			func(s Spec) Spec {
+				s.Shootout.Backends = "itr,dme"
+				s.Shootout.Faults = 7
+				s.Shootout.NoVerify = true
+				return s
+			}},
 		{"char figure", "char", []string{"-fig", "4", "-budget", "20000000"},
 			func(s Spec) Spec { s.Char.Fig = 4; s.Budget = 20_000_000; return s }},
 		{"char table1 json", "char", []string{"-table1", "-json", "t1.json"},
@@ -85,10 +97,10 @@ func TestLegacyFlagParity(t *testing.T) {
 	}
 }
 
-// TestRegistryComplete checks the registry lists exactly the six experiment
+// TestRegistryComplete checks the registry lists exactly the seven experiment
 // kinds plus the run meta-command, each with a bind and a summary.
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"char", "coverage", "dump", "energy", "fault", "sim", "run"}
+	want := []string{"char", "coverage", "dump", "energy", "fault", "shootout", "sim", "run"}
 	cmds := Commands()
 	if len(cmds) != len(want) {
 		t.Fatalf("registry has %d commands; want %d", len(cmds), len(want))

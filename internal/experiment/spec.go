@@ -43,6 +43,11 @@ type Spec struct {
 	// Seed makes fault-injection sampling reproducible (fault only;
 	// 0 = the paper campaign seed 0x17b).
 	Seed uint64 `json:"seed,omitempty"`
+	// Detector selects the detection backend driven through the pipeline's
+	// Detector seam: "itr" (default), "reptfd" (chunked replay) or "dme"
+	// (divergent dual execution). Consulted by fault and sim; shootout runs
+	// its own backend list instead.
+	Detector string `json:"detector,omitempty"`
 
 	// Exactly one of the sections below (matching Kind) is consulted;
 	// Normalized allocates it.
@@ -52,6 +57,7 @@ type Spec struct {
 	Energy   *EnergySpec   `json:"energy,omitempty"`
 	Campaign *CampaignSpec `json:"campaign,omitempty"`
 	Sim      *SimSpec      `json:"sim,omitempty"`
+	Shootout *ShootoutSpec `json:"shootout,omitempty"`
 
 	// JSONPath, when set, also writes the run's machine-readable artifacts
 	// there (a report.ArtifactJSON bundle; fault keeps its legacy
@@ -145,6 +151,27 @@ type CampaignSpec struct {
 	SnapshotInterval int64 `json:"snapshotInterval,omitempty"`
 }
 
+// ShootoutSpec parameterizes the detector-backend comparison: the Figure 8
+// campaign run once per backend plus the Figure 9-style energy estimate,
+// reported side by side in one table.
+type ShootoutSpec struct {
+	// Faults is the number of injections per benchmark per backend
+	// (0 = default 100).
+	Faults int `json:"faults,omitempty"`
+	// Window is the observation window in cycles (0 = default 250k).
+	Window int64 `json:"window,omitempty"`
+	// Backends is the comma-separated backend list (empty = all:
+	// "itr,reptfd,dme").
+	Backends string `json:"backends,omitempty"`
+	// Scale scales the energy estimate to this many committed instructions
+	// (0 = default 200M, the paper's window).
+	Scale int64 `json:"scale,omitempty"`
+	// NoVerify skips each campaign's full-protocol confirmation pass.
+	NoVerify bool `json:"noVerify,omitempty"`
+	// SnapshotInterval is the campaign fast-forward spacing (as in fault).
+	SnapshotInterval int64 `json:"snapshotInterval,omitempty"`
+}
+
 // SimSpec parameterizes a single run on the ITR-protected cycle-level core.
 type SimSpec struct {
 	// Asm runs an assembly source file instead of a benchmark; Profile runs
@@ -220,6 +247,28 @@ func (s Spec) Normalized() Spec {
 		}
 		if s.Campaign.Window == 0 {
 			s.Campaign.Window = 250_000
+		}
+		if s.Seed == 0 {
+			s.Seed = 0x17b
+		}
+	case "shootout":
+		if s.Shootout == nil {
+			s.Shootout = &ShootoutSpec{}
+		}
+		if s.Shootout.Faults == 0 {
+			s.Shootout.Faults = 100
+		}
+		if s.Shootout.Window == 0 {
+			s.Shootout.Window = 250_000
+		}
+		if s.Shootout.Backends == "" {
+			s.Shootout.Backends = "itr,reptfd,dme"
+		}
+		if s.Shootout.Scale == 0 {
+			s.Shootout.Scale = 200_000_000
+		}
+		if s.Budget == 0 {
+			s.Budget = workload.DefaultBudget
 		}
 		if s.Seed == 0 {
 			s.Seed = 0x17b

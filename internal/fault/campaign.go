@@ -117,11 +117,7 @@ func RunCampaign(name string, prog *program.Program, cfg CampaignConfig) (Campai
 	// matches what any injection run sees up to its fault point.
 	window := cfg.Experiment.WindowCycles
 	interval := cfg.Experiment.EffectiveSnapshotInterval()
-	pcfg := cfg.Experiment.Pipeline
-	pcfg.ITREnabled = true
-	pcfg.ITR = cfg.Experiment.ITR
-	pcfg.ITRMode = core.ModeObserve
-	pilot, err := pipeline.New(prog, pcfg)
+	pilot, err := pipeline.New(prog, cfg.Experiment.pipelineConfig(core.ModeObserve))
 	if err != nil {
 		return res, fmt.Errorf("campaign pilot: %w", err)
 	}

@@ -21,6 +21,7 @@ import (
 
 	"itr/internal/cache"
 	"itr/internal/core"
+	"itr/internal/detect"
 	"itr/internal/isa"
 	"itr/internal/pipeline"
 	"itr/internal/program"
@@ -235,6 +236,20 @@ func (c Config) EffectiveSnapshotInterval() int64 {
 	}
 }
 
+// pipelineConfig returns the study's pipeline configuration with the
+// detection backend enabled in the given mode. Every machine the fault
+// studies build goes through here — observe and verify runs, campaign
+// pilots, profiling passes — so the backend selection riding in
+// Config.Pipeline (Detector, DetectorOpts) reaches all of them identically,
+// and the ITR-field overriding lives in exactly one place.
+func (c Config) pipelineConfig(mode core.Mode) pipeline.Config {
+	pcfg := c.Pipeline
+	pcfg.ITREnabled = true
+	pcfg.ITR = c.ITR
+	pcfg.ITRMode = mode
+	return pcfg
+}
+
 // DefaultConfig mirrors the paper's Section 4 setup (two-way 1024-signature
 // ITR cache) with a window scaled for quick runs; raise WindowCycles to 1M
 // for paper-fidelity campaigns.
@@ -288,11 +303,7 @@ func newRunArena(prog *program.Program, cfg Config) *runArena {
 // its cycle-0 image when snap is nil).
 func (a *runArena) observeCPU(snap *pipeline.Snapshot) (*pipeline.CPU, error) {
 	if a.observe == nil {
-		pcfg := a.cfg.Pipeline
-		pcfg.ITREnabled = true
-		pcfg.ITR = a.cfg.ITR
-		pcfg.ITRMode = core.ModeObserve
-		cpu, err := pipeline.New(a.prog, pcfg)
+		cpu, err := pipeline.New(a.prog, a.cfg.pipelineConfig(core.ModeObserve))
 		if err != nil {
 			return nil, err
 		}
@@ -312,10 +323,7 @@ func (a *runArena) observeCPU(snap *pipeline.Snapshot) (*pipeline.CPU, error) {
 // campaign's checkpointing setting).
 func (a *runArena) verifyCPU(snap *pipeline.Snapshot) (*pipeline.CPU, error) {
 	if a.verify == nil {
-		pcfg := a.cfg.Pipeline
-		pcfg.ITREnabled = true
-		pcfg.ITR = a.cfg.ITR
-		pcfg.ITRMode = core.ModeFull
+		pcfg := a.cfg.pipelineConfig(core.ModeFull)
 		pcfg.CheckpointEnabled = a.cfg.Checkpoint
 		cpu, err := pipeline.New(a.prog, pcfg)
 		if err != nil {
@@ -350,11 +358,7 @@ func runOne(prog *program.Program, oracle *SigOracle, cfg Config, inj Injection,
 	if ar != nil {
 		cpu, err = ar.observeCPU(snap)
 	} else {
-		pcfg := cfg.Pipeline
-		pcfg.ITREnabled = true
-		pcfg.ITR = cfg.ITR
-		pcfg.ITRMode = core.ModeObserve
-		cpu, err = pipeline.New(prog, pcfg)
+		cpu, err = pipeline.New(prog, cfg.pipelineConfig(core.ModeObserve))
 		if err == nil && snap != nil {
 			err = cpu.Restore(snap)
 		}
@@ -382,18 +386,25 @@ func runOne(prog *program.Program, oracle *SigOracle, cfg Config, inj Injection,
 	det.Halted = res.Termination == pipeline.TermHalt
 	det.SpcFired = res.SpcFired > 0
 
-	detections := cpu.Checker().Detections()
+	detections := cpu.Detector().Detections()
 	det.Detected = len(detections) > 0
-	if det.Detected {
+	if det.Detected && detect.PreCommit(cfg.Pipeline.Detector) {
+		// Recoverability only exists for backends that detect before the
+		// faulty instance commits: a chunked-replay verdict arrives after
+		// retirement, so a flush-and-retry can never help it.
 		first := detections[0]
 		det.Recoverable = first.AccessSig != oracle.TrueSig(first.StartPC)
 	}
 	// MayITR: a faulty signature resident at window end (paper footnote 1).
-	cpu.Checker().Cache().Visit(func(ln *cache.Line) {
-		if ln.Value != oracle.TrueSig(ln.Key) {
-			det.FaultyResident = true
-		}
-	})
+	// The category is ITR-specific — rival backends hold no signature cache,
+	// so an undetected fault of theirs classifies as plain Undet.
+	if ck := cpu.Checker(); ck != nil {
+		ck.Cache().Visit(func(ln *cache.Line) {
+			if ln.Value != oracle.TrueSig(ln.Key) {
+				det.FaultyResident = true
+			}
+		})
+	}
 
 	det.Category = classify(det)
 
@@ -410,10 +421,7 @@ func runOne(prog *program.Program, oracle *SigOracle, cfg Config, inj Injection,
 		if ar != nil {
 			vcpu, err = ar.verifyCPU(vsnap)
 		} else {
-			pcfg := cfg.Pipeline
-			pcfg.ITREnabled = true
-			pcfg.ITR = cfg.ITR
-			pcfg.ITRMode = core.ModeFull
+			pcfg := cfg.pipelineConfig(core.ModeFull)
 			pcfg.CheckpointEnabled = cfg.Checkpoint
 			vcpu, err = pipeline.New(prog, pcfg)
 			if err == nil && vsnap != nil {
@@ -445,7 +453,7 @@ func runOne(prog *program.Program, oracle *SigOracle, cfg Config, inj Injection,
 		vcpu.SetFaultHook(hook(inj, vcpu))
 		vres := vcpu.Run(vbudget)
 		det.Verified = true
-		det.RecoveredInFull = vcpu.Checker().Stats().Recoveries > 0
+		det.RecoveredInFull = vcpu.Detector().Stats().Recoveries > 0
 		det.MachineCheck = vres.Termination == pipeline.TermMachineCheck
 		det.SDCUnderITR = vdiverged()
 		det.CheckpointRecovered = cfg.Checkpoint && vres.CheckpointRollbacks > 0 &&

@@ -78,11 +78,7 @@ func renameHook(inj RenameInjection) pipeline.RenameFaultHook {
 // rename-protection extension.
 func RunRenameFault(prog *program.Program, cfg Config, inj RenameInjection) (withoutSDC, frontendDetected, detected, recovered, withSDC bool, err error) {
 	// Pass 1: frontend ITR only, observe mode — the paper's baseline.
-	pcfg := cfg.Pipeline
-	pcfg.ITREnabled = true
-	pcfg.ITR = cfg.ITR
-	pcfg.ITRMode = core.ModeObserve
-	cpu, err := pipeline.New(prog, pcfg)
+	cpu, err := pipeline.New(prog, cfg.pipelineConfig(core.ModeObserve))
 	if err != nil {
 		return false, false, false, false, false, fmt.Errorf("rename fault baseline: %w", err)
 	}
@@ -91,10 +87,10 @@ func RunRenameFault(prog *program.Program, cfg Config, inj RenameInjection) (wit
 	cpu.SetRenameFaultHook(renameHook(inj))
 	cpu.Run(cfg.WindowCycles)
 	withoutSDC = g.diverged
-	frontendDetected = len(cpu.Checker().Detections()) > 0
+	frontendDetected = len(cpu.Detector().Detections()) > 0
 
 	// Pass 2: rename extension attached, full protocol.
-	pcfg.ITRMode = core.ModeFull
+	pcfg := cfg.pipelineConfig(core.ModeFull)
 	pcfg.RenameITREnabled = true
 	vcpu, err := pipeline.New(prog, pcfg)
 	if err != nil {
@@ -117,11 +113,9 @@ func RunRenameCampaign(prog *program.Program, cfg Config, n int, seed uint64) (R
 	if n <= 0 {
 		return res, fmt.Errorf("rename campaign: non-positive count %d", n)
 	}
-	// Profile the decode-event space (as the main campaign does).
-	pcfg := cfg.Pipeline
-	pcfg.ITREnabled = true
-	pcfg.ITR = cfg.ITR
-	prof, err := pipeline.New(prog, pcfg)
+	// Profile the decode-event space (as the main campaign does). The
+	// fault-free profiling trajectory is mode-independent.
+	prof, err := pipeline.New(prog, cfg.pipelineConfig(cfg.Pipeline.ITRMode))
 	if err != nil {
 		return res, err
 	}

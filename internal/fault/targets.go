@@ -6,6 +6,7 @@ import (
 
 	"itr/internal/cache"
 	"itr/internal/core"
+	"itr/internal/detect"
 	"itr/internal/pipeline"
 	"itr/internal/program"
 	"itr/internal/stats"
@@ -60,10 +61,7 @@ func (r PCFaultResult) Pct(o PCOutcome) float64 {
 // the outcome. The ITR checker runs in observe mode so the natural
 // consequence is visible alongside every check that fires.
 func RunPCFault(prog *program.Program, cfg Config, atCycle int64, bit int) (PCOutcome, error) {
-	pcfg := cfg.Pipeline
-	pcfg.ITREnabled = true
-	pcfg.ITR = cfg.ITR
-	pcfg.ITRMode = core.ModeObserve
+	pcfg := cfg.pipelineConfig(core.ModeObserve)
 	cpu, err := pipeline.New(prog, pcfg)
 	if err != nil {
 		return "", fmt.Errorf("pc fault run: %w", err)
@@ -82,7 +80,7 @@ func RunPCFault(prog *program.Program, cfg Config, atCycle int64, bit int) (PCOu
 	refRes := ref.Run(cfg.WindowCycles)
 
 	res := cpu.Run(cfg.WindowCycles)
-	detections := cpu.Checker().Detections()
+	detections := cpu.Detector().Detections()
 
 	switch {
 	case len(detections) > 0:
@@ -157,11 +155,11 @@ type CacheFaultResult struct {
 // RunCacheFault corrupts one resident ITR cache line mid-run and classifies
 // the consequence. parity selects whether the Section 2.4 protection is on.
 func RunCacheFault(prog *program.Program, cfg Config, parity bool, warmCycles int64, pick uint64, bit int) (CacheFaultOutcome, bool, error) {
-	pcfg := cfg.Pipeline
-	pcfg.ITREnabled = true
-	pcfg.ITR = cfg.ITR
+	if name := detect.Canonical(cfg.Pipeline.Detector); name != detect.NameITR {
+		return "", false, fmt.Errorf("cache fault study targets the ITR signature cache; detector backend %q has none", name)
+	}
+	pcfg := cfg.pipelineConfig(core.ModeFull)
 	pcfg.ITR.Parity = parity
-	pcfg.ITRMode = core.ModeFull
 	cpu, err := pipeline.New(prog, pcfg)
 	if err != nil {
 		return "", false, fmt.Errorf("cache fault run: %w", err)

@@ -7,6 +7,7 @@ import (
 
 	"itr/internal/checkpoint"
 	"itr/internal/core"
+	"itr/internal/detect"
 	"itr/internal/isa"
 	"itr/internal/program"
 	"itr/internal/trace"
@@ -29,10 +30,19 @@ type Config struct {
 	// before the watchdog check fires (paper Section 4's "wdog").
 	WatchdogCycles int64
 
-	// ITREnabled attaches the ITR checker; ITR/ITRMode configure it.
+	// ITREnabled attaches the fault-detection backend; ITR/ITRMode
+	// configure it (the cache geometry only applies to the ITR backend;
+	// the mode applies to all of them).
 	ITREnabled bool
 	ITR        core.Config
 	ITRMode    core.Mode
+	// Detector names the detection backend driven through core.Detector:
+	// "" or "itr" (the default ITR checker, bit-identical to the
+	// pre-interface pipeline), "reptfd" (chunked replay) or "dme"
+	// (divergent dual execution). See internal/detect.
+	Detector string
+	// DetectorOpts tunes the non-ITR backends (zero value = defaults).
+	DetectorOpts detect.Options
 
 	// CheckpointEnabled attaches the coarse-grain checkpointing extension
 	// of Section 2.3: machine checks roll back to the last checkpoint
@@ -92,6 +102,11 @@ type Probe struct {
 	// the benchmark's whole footprint.
 	SnapshotPagesCopied atomic.Int64
 	SnapshotBytesCopied atomic.Int64
+	// DetectorPolls counts commit-time detector polls (one per committing
+	// instruction while a detector is attached).
+	DetectorPolls atomic.Int64
+	// DetectorDetections counts mismatches the detector recorded.
+	DetectorDetections atomic.Int64
 }
 
 // CheckpointPolicy is the rule deciding when checkpoints are taken and when
@@ -265,8 +280,13 @@ type CPU struct {
 	committed *isa.ArchState
 	spec      *specState
 
-	pred          *Predictor
-	checker       *core.Checker
+	pred *Predictor
+	// det is the attached detection backend; itr is the same object when
+	// (and only when) the backend is the default ITR checker, so the
+	// per-commit hot calls stay devirtualized and inlinable on the default
+	// path.
+	det           core.Detector
+	itr           *core.Checker
 	renameChecker *core.Checker
 	renameSig     renameState
 	ckpt          *checkpoint.Manager
@@ -324,6 +344,13 @@ type CPU struct {
 	// memCopiedSeen is the memory's lifetime COW page-copy count already
 	// published to the probe; run boundaries publish the delta.
 	memCopiedSeen int64
+	// detPolls counts commit-time detector polls for the probe; like the
+	// COW counters it is published as a delta at run boundaries. The
+	// detection count is deltaed against the detector's own (snapshot-
+	// rewindable) mismatch counter, re-seeded on Restore.
+	detPolls          int64
+	detPollsSeen      int64
+	detDetectionsSeen int64
 }
 
 // New builds a CPU over prog with the given configuration.
@@ -346,11 +373,12 @@ func New(prog *program.Program, cfg Config) (*CPU, error) {
 	c.committed = &isa.ArchState{Mem: c.mem, PC: prog.Entry}
 	c.spec = newSpecState(c.committed, c.mem)
 	if cfg.ITREnabled {
-		checker, err := core.NewChecker(cfg.ITR, cfg.ITRMode)
+		det, err := detect.New(cfg.Detector, prog, cfg.ITR, cfg.ITRMode, cfg.DetectorOpts)
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: %w", err)
 		}
-		c.checker = checker
+		c.det = det
+		c.itr, _ = det.(*core.Checker)
 	}
 	if cfg.RenameITREnabled {
 		if !cfg.ITREnabled {
@@ -364,7 +392,7 @@ func New(prog *program.Program, cfg Config) (*CPU, error) {
 	}
 	if cfg.CheckpointEnabled {
 		if !cfg.ITREnabled {
-			return nil, fmt.Errorf("pipeline: checkpointing requires the ITR checker (its safety condition is an all-checked ITR cache)")
+			return nil, fmt.Errorf("pipeline: checkpointing requires a detector (its safety condition is the detector's SafeToCheckpoint query)")
 		}
 		m, err := checkpoint.New(c.committed, c.mem)
 		if err != nil {
@@ -410,8 +438,8 @@ func (c *CPU) checkpointRecover(faultyTracePC uint64) (restartPC uint64, ok bool
 		return 0, false
 	}
 	// Rollback is sufficient only when the faulty instance committed after
-	// the checkpoint: the install stamp of the offending line proves it.
-	if ln, found := c.checker.Cache().Probe(faultyTracePC); found && ln.Stamp < c.ckpt.CommittedAt() {
+	// the checkpoint: the stamp of the detector's evidence proves it.
+	if stamp, found := c.det.SignatureStamp(faultyTracePC); found && stamp < c.ckpt.CommittedAt() {
 		return 0, false
 	}
 	restart, ok := c.ckpt.Rollback()
@@ -419,10 +447,10 @@ func (c *CPU) checkpointRecover(faultyTracePC uint64) (restartPC uint64, ok bool
 		return 0, false
 	}
 	c.ckptRollbacks++
-	c.checker.Cache().Invalidate(faultyTracePC)
-	c.checker.FlushAll()
+	c.det.DiscardSignature(faultyTracePC)
+	c.det.FlushAll()
 	if c.renameChecker != nil {
-		c.renameChecker.Cache().Invalidate(faultyTracePC)
+		c.renameChecker.DiscardSignature(faultyTracePC)
 		c.renameChecker.FlushAll()
 	}
 	if c.ckptObserver != nil {
@@ -437,8 +465,14 @@ func (c *CPU) checkpointRecover(faultyTracePC uint64) (restartPC uint64, ok bool
 	return restart, true
 }
 
-// Checker exposes the ITR checker (nil when ITR is disabled).
-func (c *CPU) Checker() *core.Checker { return c.checker }
+// Checker exposes the ITR checker when the attached backend is the default
+// ITR one (nil when detection is disabled or a rival backend is attached).
+// ITR-specific studies and tests reach the cache through it; backend-generic
+// code uses Detector instead.
+func (c *CPU) Checker() *core.Checker { return c.itr }
+
+// Detector exposes the attached detection backend (nil when disabled).
+func (c *CPU) Detector() core.Detector { return c.det }
 
 // Checkpoints exposes the coarse-grain checkpoint manager (nil when the
 // extension is disabled).
@@ -483,6 +517,17 @@ func (c *CPU) RunUntilDecode(maxCycles, stopDecode int64) Result {
 		p.Cycles.Add(c.cycle - start)
 		p.DecodeEvents.Add(c.decodeEvents - decodeStart)
 		c.publishCowCopies(p)
+		if d := c.detPolls - c.detPollsSeen; d > 0 {
+			p.DetectorPolls.Add(d)
+			c.detPollsSeen = c.detPolls
+		}
+		if c.det != nil {
+			m := c.det.Stats().Mismatches
+			if d := m - c.detDetectionsSeen; d > 0 {
+				p.DetectorDetections.Add(d)
+			}
+			c.detDetectionsSeen = m
+		}
 	}
 	term := c.termination
 	if !c.terminated {
@@ -514,8 +559,9 @@ func (c *CPU) stepCycle() {
 	if c.ckpt != nil && c.cycle%c.cfg.CheckpointIntervalCycles == 0 {
 		take := true
 		if c.cfg.CheckpointPolicy == CheckpointStrict {
-			// Section 2.3's literal condition: no unchecked lines remain.
-			take = c.checker.Cache().CountUnchecked() == 0
+			// Section 2.3's literal condition, generalized per backend: no
+			// committed state is still awaiting verification.
+			take = c.det.SafeToCheckpoint()
 		}
 		if take {
 			c.ckpt.Take(c.committedCount)
@@ -567,23 +613,34 @@ func (c *CPU) commitStage() {
 			// always squashed by the mispredicted branch ahead of them.
 			panic("pipeline: wrong-path uop reached commit")
 		}
-		if c.checker != nil && !c.checker.PollQuick() {
-			switch a := c.checker.Poll(); a.Kind {
-			case core.ActionStall:
-				return
-			case core.ActionRetry:
-				c.itrFlush(a.RestartPC)
-				return
-			case core.ActionMachineCheck:
-				if c.ckpt != nil {
-					if restart, ok := c.checkpointRecover(a.RestartPC); ok {
-						c.itrFlush(restart)
-						return
+		if c.det != nil {
+			c.detPolls++
+			// The concrete-type call on the default backend inlines; rival
+			// backends take the interface call.
+			var quick bool
+			if c.itr != nil {
+				quick = c.itr.PollQuick()
+			} else {
+				quick = c.det.PollQuick()
+			}
+			if !quick {
+				switch a := c.det.Poll(); a.Kind {
+				case core.ActionStall:
+					return
+				case core.ActionRetry:
+					c.itrFlush(a.RestartPC)
+					return
+				case core.ActionMachineCheck:
+					if c.ckpt != nil {
+						if restart, ok := c.checkpointRecover(a.RestartPC); ok {
+							c.itrFlush(restart)
+							return
+						}
 					}
+					c.terminated = true
+					c.termination = TermMachineCheck
+					return
 				}
-				c.terminated = true
-				c.termination = TermMachineCheck
-				return
 			}
 		}
 		if c.renameChecker != nil && !c.renameChecker.PollQuick() {
@@ -634,16 +691,20 @@ func (c *CPU) commitStage() {
 			c.spec.overlay.commitStore(out.MemAddr)
 		}
 		c.committedCount++
-		if c.checker != nil {
-			c.checker.SetNow(c.committedCount)
+		if c.itr != nil {
+			c.itr.SetNow(c.committedCount)
+		} else if c.det != nil {
+			c.det.SetNow(c.committedCount)
 		}
 		c.lastCommitCycle = c.cycle
 		if c.observer != nil {
 			c.observer(pc, out)
 		}
 		if flags&slotTraceEnd != 0 {
-			if c.checker != nil {
-				c.checker.CommitTraceEnd()
+			if c.itr != nil {
+				c.itr.CommitTraceEnd()
+			} else if c.det != nil {
+				c.det.CommitTraceEnd()
 			}
 			if c.renameChecker != nil {
 				c.renameChecker.CommitTraceEnd()
@@ -670,12 +731,12 @@ func (c *CPU) itrFlush(restartPC uint64) {
 	c.fqReset()
 	c.former.Reset()
 	c.renameSig.reset()
-	// Both checkers' in-flight windows are squashed. The checker whose
+	// Both detectors' in-flight windows are squashed. The detector whose
 	// retry caused this flush has already cleared itself (and armed its
 	// retry state); FlushAll on an empty window is a no-op, so flushing
-	// both keeps the two ITR ROBs aligned trace-for-trace.
-	if c.checker != nil {
-		c.checker.FlushAll()
+	// both keeps the two in-flight windows aligned trace-for-trace.
+	if c.det != nil {
+		c.det.FlushAll()
 	}
 	if c.renameChecker != nil {
 		c.renameChecker.FlushAll()
@@ -807,8 +868,8 @@ func (c *CPU) repairMispredict(seq uint64, target uint64) {
 	// The branch terminated its trace, so it owns the youngest surviving
 	// ITR ROB entry; roll back to the checkpoint noted at its dispatch.
 	if idx := c.slot(seq); c.slots.flags[idx]&slotTraceEnd != 0 {
-		if c.checker != nil {
-			c.checker.RollbackTo(c.slots.itrSeq[idx])
+		if c.det != nil {
+			c.det.RollbackTo(c.slots.itrSeq[idx])
 		}
 		if c.renameChecker != nil {
 			c.renameChecker.RollbackTo(c.slots.renameSeq[idx])
@@ -971,8 +1032,8 @@ func (c *CPU) dispatchStage() {
 		if c.robLen() == c.robCap {
 			return // ROB full
 		}
-		if c.checker != nil && c.checker.Full() {
-			return // ITR ROB full: stall decode (paper Section 2.2)
+		if c.det != nil && c.det.Full() {
+			return // detector in-flight window full: stall decode (Section 2.2)
 		}
 		if c.renameChecker != nil && c.renameChecker.Full() {
 			return
@@ -1088,8 +1149,8 @@ func (c *CPU) dispatchStage() {
 		if c.former.StepTerm(fi.pc, w) {
 			ev := c.former.Take(w)
 			flags |= slotTraceEnd
-			if c.checker != nil {
-				itrSeq, _ := c.checker.DispatchTrace(ev, wrongPath)
+			if c.det != nil {
+				itrSeq, _ := c.det.DispatchTrace(ev, wrongPath)
 				c.slots.itrSeq[idx] = itrSeq
 			}
 			if c.renameChecker != nil {

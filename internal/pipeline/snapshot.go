@@ -47,8 +47,8 @@ type Snapshot struct {
 	predHistory uint64
 	predClock   uint64
 
-	checker       *core.CheckerState
-	renameChecker *core.CheckerState
+	det           core.DetectorState
+	renameChecker core.DetectorState
 	renameSig     renameState
 	ckpt          *checkpoint.State
 	former        trace.Former
@@ -149,13 +149,13 @@ func (c *CPU) Snapshot() *Snapshot {
 		renameSig: c.renameSig,
 		former:    c.former,
 
-		slots:   c.slots.clone(),
-		robHead: c.robHead,
-		robTail: c.robTail,
-		prod:    c.prod,
-		fetchQ:    make([]fetchedInst, 0, c.fqLen()),
-		fetchPC:   c.fetchPC,
-		haltSeen:  c.haltSeen,
+		slots:    c.slots.clone(),
+		robHead:  c.robHead,
+		robTail:  c.robTail,
+		prod:     c.prod,
+		fetchQ:   make([]fetchedInst, 0, c.fqLen()),
+		fetchPC:  c.fetchPC,
+		haltSeen: c.haltSeen,
 
 		wrongPathFrom:  c.wrongPathFrom,
 		wrongPathArmed: c.wrongPathArmed,
@@ -189,8 +189,8 @@ func (c *CPU) Snapshot() *Snapshot {
 	}
 	copy(s.predBTB, c.pred.btb)
 	copy(s.predGshare, c.pred.gshare)
-	if c.checker != nil {
-		s.checker = c.checker.CaptureState()
+	if c.det != nil {
+		s.det = c.det.CaptureState()
 	}
 	if c.renameChecker != nil {
 		s.renameChecker = c.renameChecker.CaptureState()
@@ -244,10 +244,13 @@ func (c *CPU) Restore(s *Snapshot) error {
 	c.pred.history = s.predHistory
 	c.pred.clock = s.predClock
 
-	if c.checker != nil {
-		if err := c.checker.RestoreState(s.checker); err != nil {
-			return fmt.Errorf("pipeline: restore checker: %w", err)
+	if c.det != nil {
+		if err := c.det.RestoreState(s.det); err != nil {
+			return fmt.Errorf("pipeline: restore detector: %w", err)
 		}
+		// Re-seed the probe's detection delta base: the detector's mismatch
+		// counter just rewound to the snapshot's value.
+		c.detDetectionsSeen = c.det.Stats().Mismatches
 	}
 	if c.renameChecker != nil {
 		if err := c.renameChecker.RestoreState(s.renameChecker); err != nil {
