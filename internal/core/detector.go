@@ -65,6 +65,14 @@ type Detector interface {
 	DiscardSignature(pc uint64)
 	// Stats returns a copy of the backend's event counters.
 	Stats() Stats
+	// MismatchCount returns a pointer to the running mismatch total
+	// (Stats().Mismatches without the struct copy). The pipeline caches
+	// the pointer at construction and loads through it on every trace
+	// retirement to decide whether a detection needs a cycle stamp, so
+	// the returned address must stay valid and current for the detector's
+	// lifetime — a pointer to the live counter field, not to a copy
+	// (RestoreState must update the counter in place).
+	MismatchCount() *int64
 	// Detections returns all mismatches observed so far.
 	Detections() []Detection
 	// CaptureState snapshots the detector's mutable state. The capture is

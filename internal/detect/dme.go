@@ -286,6 +286,9 @@ func (d *DME) DiscardSignature(pc uint64) {
 // Stats returns a copy of the event counters.
 func (d *DME) Stats() core.Stats { return d.stats }
 
+// MismatchCount implements core.Detector.
+func (d *DME) MismatchCount() *int64 { return &d.stats.Mismatches }
+
 // Detections returns all mismatches observed so far.
 func (d *DME) Detections() []core.Detection {
 	out := make([]core.Detection, len(d.detections))

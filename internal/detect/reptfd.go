@@ -215,6 +215,9 @@ func (d *RepTFD) DiscardSignature(pc uint64) {
 // Stats returns a copy of the event counters.
 func (d *RepTFD) Stats() core.Stats { return d.stats }
 
+// MismatchCount implements core.Detector.
+func (d *RepTFD) MismatchCount() *int64 { return &d.stats.Mismatches }
+
 // Detections returns all chunk mismatches observed so far.
 func (d *RepTFD) Detections() []core.Detection {
 	out := make([]core.Detection, len(d.detections))

@@ -3,13 +3,16 @@ package experiment
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"itr/internal/detect"
 	"itr/internal/fault"
+	"itr/internal/obs"
 	"itr/internal/report"
+	"itr/internal/stats"
 	"itr/internal/workload"
 )
 
@@ -30,6 +33,30 @@ func bindFault(fs *flag.FlagSet, s *Spec) {
 	fs.IntVar(&s.Workers, "workers", s.Workers, "injection worker-pool width per campaign (0 = GOMAXPROCS); results are identical at any width")
 	fs.Int64Var(&s.Campaign.SnapshotInterval, "snapshot-interval", s.Campaign.SnapshotInterval,
 		fmt.Sprintf("decode events between pilot snapshots for campaign fast-forward (0 = default %d, negative = disabled); results are identical either way", fault.DefaultSnapshotInterval))
+	fs.BoolVar(&s.Campaign.LatencyHist, "latency-hist", s.Campaign.LatencyHist,
+		"print the detection-latency distribution (cycles and trace length from injection to detection)")
+}
+
+// printLatencyHist renders one detection-latency histogram as a log2-bucket
+// table with cumulative percentages and quantile summaries. Latency
+// observations are deterministic per spec (worker order only permutes them,
+// and the buckets are order-blind), so the table is digest-stable.
+func printLatencyHist(w io.Writer, title string, h *obs.Hist) {
+	fmt.Fprintf(w, "\n%s\n", title)
+	n := h.Count()
+	if n == 0 {
+		fmt.Fprintln(w, "  (no detections)")
+		return
+	}
+	t := stats.NewTable("latency <=", "count", "cum (%)")
+	var cum int64
+	for _, b := range h.Buckets() {
+		cum += b.Count
+		t.AddRow(b.Hi, b.Count, 100*float64(cum)/float64(n))
+	}
+	fmt.Fprint(w, t.String())
+	fmt.Fprintf(w, "p50 <= %d, p90 <= %d, p99 <= %d over %d detections (mean %.1f)\n",
+		h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99), n, h.Mean())
 }
 
 // runFault reproduces the paper's Section 4 fault-injection study
@@ -58,6 +85,9 @@ func runFault(e *Engine) error {
 	cfg.Experiment.SnapshotInterval = s.Campaign.SnapshotInterval
 	cfg.Experiment.Pipeline.Detector = s.Detector
 	cfg.Experiment.Pipeline.Probe = e.probe
+	cfg.Tracer = e.tracer
+	latCycles, latInsts := e.latencyHists(detect.Canonical(s.Detector))
+	cfg.LatencyCycles, cfg.LatencyInsts = latCycles, latInsts
 	e.manifest.SnapshotInterval = cfg.Experiment.EffectiveSnapshotInterval()
 
 	profiles := workload.CoverageSuite()
@@ -104,7 +134,11 @@ func runFault(e *Engine) error {
 				return err
 			}
 		}
-		fmt.Fprintf(w, "(%d campaigns in %v)\n", len(rows), time.Since(start).Round(time.Millisecond))
+		// The elapsed time is the one nondeterministic part of the stage
+		// output; route it around the digest so reruns hash identically.
+		fmt.Fprintf(w, "(%d campaigns", len(rows))
+		fmt.Fprintf(e.rawOut(), " in %v", time.Since(start).Round(time.Millisecond))
+		fmt.Fprintln(w, ")")
 		snaps, pages, owned := 0, 0, 0
 		for _, r := range rows {
 			snaps += r.Result.Snapshots
@@ -149,6 +183,16 @@ func runFault(e *Engine) error {
 		return nil
 	}); err != nil {
 		return err
+	}
+
+	if s.Campaign.LatencyHist {
+		if err := e.stage("latency-hist", func() error {
+			printLatencyHist(w, "Detection latency (cycles from injection to first detection):", latCycles)
+			printLatencyHist(w, "Trace length at detection (instructions committed since injection):", latInsts)
+			return nil
+		}); err != nil {
+			return err
+		}
 	}
 
 	if s.Campaign.PCFaults > 0 {

@@ -96,6 +96,9 @@ func runSim(e *Engine) error {
 		cfg.ITREnabled = !s.Sim.NoITR
 		cfg.Detector = s.Detector
 		cfg.Probe = e.probe
+		// The sim machine runs on the stage goroutine; its pipeline events
+		// (snapshots, rollbacks, detections) share the engine's timeline.
+		cfg.Trace = e.tracer.Ring("sim")
 		cpu, err := pipeline.New(prog, cfg)
 		if err != nil {
 			return err

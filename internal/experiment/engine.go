@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"itr/internal/fault"
+	"itr/internal/obs"
 	"itr/internal/pipeline"
 	"itr/internal/report"
 )
@@ -33,6 +34,15 @@ type Engine struct {
 	sweep   *report.Probe
 	camp    *fault.Progress
 	started time.Time
+
+	// reg names every live counter/histogram for the /metrics and expvar
+	// views; tracer owns the run's event rings. stageRing records stage
+	// spans (engine goroutine only); sweepRing records sweep-cell
+	// completions (written under mu from recordItem).
+	reg       *obs.Registry
+	tracer    *obs.Tracer
+	stageRing *obs.Ring
+	sweepRing *obs.Ring
 
 	mu       sync.Mutex
 	bench    map[string]*BenchTiming
@@ -65,12 +75,26 @@ func (e *Engine) Run() error {
 	e.camp = &fault.Progress{}
 	e.bench = make(map[string]*BenchTiming)
 	e.started = time.Now()
+	e.reg = obs.NewRegistry()
+	e.registerMetrics()
+	e.tracer = obs.NewTracer(0)
+	e.stageRing = e.tracer.Ring("engine")
+	e.sweepRing = e.tracer.Ring("sweep")
 	e.manifest = Manifest{
 		SchemaVersion: ManifestSchemaVersion,
 		Spec:          e.Spec,
 		Version:       Version(),
 		Started:       e.started.UTC().Format(time.RFC3339),
 		Workers:       resolveWorkers(e.Spec.Workers),
+	}
+	if e.Spec.TelemetryAddr != "" {
+		srv, err := obs.Serve(e.Spec.TelemetryAddr, e.reg)
+		if err != nil {
+			return fmt.Errorf("telemetry: %w", err)
+		}
+		defer srv.Close()
+		e.manifest.TelemetryAddr = srv.Addr
+		fmt.Fprintf(e.Err, "telemetry: serving /metrics, /debug/vars, /debug/pprof/ on %s\n", srv.Addr)
 	}
 	stopProfile, err := e.startCPUProfile()
 	if err != nil {
@@ -88,8 +112,68 @@ func (e *Engine) Run() error {
 	if err := e.writeMemProfile(); err != nil {
 		return err
 	}
+	if err := e.writeTrace(); err != nil {
+		return err
+	}
 	e.finish()
 	return e.writeManifest()
+}
+
+// registerMetrics names the engine's probe counters in the registry. The
+// names are the public /metrics contract; the manifest's telemetry keys
+// are derived from the same counters in telemetrySnapshot.
+func (e *Engine) registerMetrics() {
+	e.reg.RegisterCounter("itr_cycles_total", &e.probe.Cycles)
+	e.reg.RegisterCounter("itr_decode_events_total", &e.probe.DecodeEvents)
+	e.reg.RegisterCounter("itr_snapshot_restores_total", &e.probe.SnapshotRestores)
+	e.reg.RegisterCounter("itr_snapshot_captures_total", &e.probe.SnapshotCaptures)
+	e.reg.RegisterCounter("itr_snapshot_pages_shared_total", &e.probe.SnapshotPagesShared)
+	e.reg.RegisterCounter("itr_snapshot_pages_copied_total", &e.probe.SnapshotPagesCopied)
+	e.reg.RegisterCounter("itr_snapshot_bytes_copied_total", &e.probe.SnapshotBytesCopied)
+	e.reg.RegisterCounter("itr_detector_polls_total", &e.probe.DetectorPolls)
+	e.reg.RegisterCounter("itr_detector_detections_total", &e.probe.DetectorDetections)
+	e.reg.RegisterCounter("itr_sweep_streams_generated_total", &e.sweep.StreamsGenerated)
+	e.reg.RegisterCounter("itr_sweep_events_replayed_total", &e.sweep.EventsReplayed)
+	e.reg.RegisterCounter("itr_sweep_cells_total", &e.sweep.CellsCompleted)
+	e.reg.RegisterCounter("itr_injections_total", &e.camp.Injections)
+	e.reg.RegisterGaugeFunc("itr_uptime_seconds", func() int64 {
+		return int64(time.Since(e.started).Seconds())
+	})
+	e.reg.RegisterGaugeFunc("itr_trace_events_total", func() int64 {
+		if e.tracer == nil {
+			return 0
+		}
+		return e.tracer.TotalEvents()
+	})
+}
+
+// latencyHists returns the per-backend detection-latency histograms
+// (cycles and committed instructions from injection to first detection),
+// creating and registering them on first use.
+func (e *Engine) latencyHists(backend string) (cycles, insts *obs.Hist) {
+	cycles = e.reg.Hist(fmt.Sprintf("itr_detection_latency_cycles{backend=%q}", backend))
+	insts = e.reg.Hist(fmt.Sprintf("itr_detection_latency_insts{backend=%q}", backend))
+	return cycles, insts
+}
+
+// writeTrace exports the run's ring buffers as a Chrome trace-event JSON
+// timeline when the spec requests one.
+func (e *Engine) writeTrace() error {
+	if e.Spec.TraceOut == "" {
+		return nil
+	}
+	f, err := os.Create(e.Spec.TraceOut)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := e.tracer.WriteChromeJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	return nil
 }
 
 // startCPUProfile begins CPU profiling when the spec requests it, returning
@@ -169,6 +253,9 @@ func (e *Engine) recordItem(label string, elapsed time.Duration) {
 	}
 	bt.Seconds += elapsed.Seconds()
 	bt.Items++
+	// The sweep ring is written here only, and always under mu, which
+	// serializes the pool goroutines into a single-writer stream.
+	e.sweepRing.Emit(obs.EvSweepCell, e.sweep.CellsCompleted.Load(), elapsed.Microseconds())
 }
 
 // stage runs one sequential phase, recording its wall clock and a digest of
@@ -179,6 +266,7 @@ func (e *Engine) stage(name string, fn func() error) error {
 	start := time.Now()
 	err := fn()
 	e.out.setHash(nil)
+	e.stageRing.EmitSpan(obs.EvStage, start, 0, int64(len(e.manifest.Stages)))
 	e.manifest.Stages = append(e.manifest.Stages, StageTiming{
 		Name:         name,
 		Seconds:      time.Since(start).Seconds(),
@@ -201,7 +289,18 @@ func (e *Engine) finish() {
 		e.manifest.Benchmarks = append(e.manifest.Benchmarks, *e.bench[name])
 	}
 
+	e.manifest.Telemetry = e.telemetrySnapshot()
 	t := &e.manifest.Telemetry
+	if t.Injections > 0 && e.manifest.WallClockSeconds > 0 {
+		t.InjectionsPerSec = float64(t.Injections) / e.manifest.WallClockSeconds
+	}
+}
+
+// telemetrySnapshot folds the live counters into the manifest's telemetry
+// shape. The -progress ticker and the sealed manifest both read through
+// here, so the two views can never drift apart.
+func (e *Engine) telemetrySnapshot() Telemetry {
+	var t Telemetry
 	t.CyclesSimulated = e.probe.Cycles.Load()
 	t.DecodeEvents = e.probe.DecodeEvents.Load()
 	t.SnapshotRestores = e.probe.SnapshotRestores.Load()
@@ -213,11 +312,9 @@ func (e *Engine) finish() {
 	t.EventsReplayed = e.sweep.EventsReplayed.Load()
 	t.SweepCells = e.sweep.CellsCompleted.Load()
 	t.Injections = e.camp.Injections.Load()
-	if t.Injections > 0 && e.manifest.WallClockSeconds > 0 {
-		t.InjectionsPerSec = float64(t.Injections) / e.manifest.WallClockSeconds
-	}
 	t.DetectorPolls = e.probe.DetectorPolls.Load()
 	t.DetectorDetections = e.probe.DetectorDetections.Load()
+	return t
 }
 
 // writeManifest writes the run record to the spec's manifest path
@@ -277,28 +374,25 @@ func (e *Engine) startProgress() func() {
 				return
 			case <-tick.C:
 				elapsed := time.Since(e.started).Seconds()
-				cycles := e.probe.Cycles.Load()
-				decodes := e.probe.DecodeEvents.Load()
-				restores := e.probe.SnapshotRestores.Load()
-				inj := e.camp.Injections.Load()
-				line := fmt.Sprintf("progress: %.0fs: %d cycles, %d decode events", elapsed, cycles, decodes)
-				if restores > 0 {
-					line += fmt.Sprintf(", %d restores", restores)
+				snap := e.telemetrySnapshot()
+				line := fmt.Sprintf("progress: %.0fs: %d cycles, %d decode events", elapsed, snap.CyclesSimulated, snap.DecodeEvents)
+				if snap.SnapshotRestores > 0 {
+					line += fmt.Sprintf(", %d restores", snap.SnapshotRestores)
 				}
-				if captures := e.probe.SnapshotCaptures.Load(); captures > 0 {
+				if snap.SnapshotCaptures > 0 {
 					line += fmt.Sprintf(", %d snapshots (%.1f MiB cow-copied)",
-						captures, float64(e.probe.SnapshotBytesCopied.Load())/(1<<20))
+						snap.SnapshotCaptures, float64(snap.SnapshotBytesCopied)/(1<<20))
 				}
-				if cells := e.sweep.CellsCompleted.Load(); cells > 0 || e.sweep.EventsReplayed.Load() > 0 {
+				if snap.SweepCells > 0 || snap.EventsReplayed > 0 {
 					line += fmt.Sprintf(", %d sweep cells (%d streams, %d events replayed)",
-						cells, e.sweep.StreamsGenerated.Load(), e.sweep.EventsReplayed.Load())
+						snap.SweepCells, snap.StreamsGenerated, snap.EventsReplayed)
 				}
-				if inj > 0 {
-					line += fmt.Sprintf(", %d injections (%.1f/s)", inj, float64(inj)/elapsed)
+				if snap.Injections > 0 {
+					line += fmt.Sprintf(", %d injections (%.1f/s)", snap.Injections, float64(snap.Injections)/elapsed)
 				}
-				if polls := e.probe.DetectorPolls.Load(); polls > 0 {
+				if snap.DetectorPolls > 0 {
 					line += fmt.Sprintf(", %d detector polls (%d detections)",
-						polls, e.probe.DetectorDetections.Load())
+						snap.DetectorPolls, snap.DetectorDetections)
 				}
 				fmt.Fprintln(e.Err, line)
 			}
@@ -333,3 +427,15 @@ func (d *digestWriter) Write(p []byte) (int, error) {
 	d.mu.Unlock()
 	return d.w.Write(p)
 }
+
+// rawWriter wraps a digestWriter, bypassing the stage hash: bytes reach the
+// output but never the digest.
+type rawWriter struct{ d *digestWriter }
+
+func (r rawWriter) Write(p []byte) (int, error) { return r.d.w.Write(p) }
+
+// rawOut returns a writer to Out that bypasses the current stage's output
+// digest. Stages print nondeterministic decoration (wall-clock timings)
+// through it, so two runs of the same spec produce byte-identical digests —
+// exactly, not "modulo the timing line".
+func (e *Engine) rawOut() io.Writer { return rawWriter{d: e.out} }

@@ -40,6 +40,9 @@ type Manifest struct {
 	Detectors []DetectorRun `json:"detectors,omitempty"`
 	// Telemetry is the probe snapshot at the end of the run.
 	Telemetry Telemetry `json:"telemetry"`
+	// TelemetryAddr is the resolved listen address the run's live telemetry
+	// endpoint actually bound (spec telemetryAddr; empty when disabled).
+	TelemetryAddr string `json:"telemetryAddr,omitempty"`
 }
 
 // DetectorRun is one backend's slice of a shootout: its Figure 8 coverage,
@@ -59,6 +62,11 @@ type DetectorRun struct {
 	// EnergyMJ is the backend's detection-energy estimate over the spec's
 	// Scale instructions (energy.DetectorEnergyMJ).
 	EnergyMJ float64 `json:"energyMJ"`
+	// LatencyP50Cycles and LatencyP99Cycles are detection-latency quantile
+	// upper bounds in pipeline cycles (injection to first detection, over
+	// the backend's detected faults); 0 when nothing was detected.
+	LatencyP50Cycles int64 `json:"latencyP50Cycles"`
+	LatencyP99Cycles int64 `json:"latencyP99Cycles"`
 }
 
 // StageTiming is one sequential phase of a run.

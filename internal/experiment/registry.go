@@ -79,6 +79,10 @@ func bindCommon(fs *flag.FlagSet, s *Spec) {
 		"write a pprof CPU profile of the run to this file")
 	fs.StringVar(&s.MemProfile, "memprofile", s.MemProfile,
 		"write a pprof heap profile (taken after the run) to this file")
+	fs.StringVar(&s.TelemetryAddr, "telemetry-addr", s.TelemetryAddr,
+		"serve live telemetry over HTTP on this address while the run is in flight\n(/metrics, /debug/vars, /debug/pprof/; \":0\" picks a free port)")
+	fs.StringVar(&s.TraceOut, "trace-out", s.TraceOut,
+		"write a Chrome trace-event JSON timeline of the run to this file\n(load in Perfetto or chrome://tracing)")
 }
 
 // Main is the `itr` CLI entry point: dispatches argv[0] to the registry,

@@ -75,6 +75,15 @@ type Spec struct {
 	// when given bare file names.
 	CPUProfile string `json:"cpuProfile,omitempty"`
 	MemProfile string `json:"memProfile,omitempty"`
+	// TelemetryAddr, when set, serves live run telemetry over HTTP for the
+	// duration of the run: Prometheus-text metrics at /metrics, expvar at
+	// /debug/vars, and net/http/pprof under /debug/pprof/. ":0" picks a
+	// free port; the resolved address is echoed in the manifest.
+	TelemetryAddr string `json:"telemetryAddr,omitempty"`
+	// TraceOut, when set, writes a Chrome trace-event JSON timeline of the
+	// run there (snapshot activity, detections, injections, sweep cells,
+	// stage spans) — loadable in Perfetto or chrome://tracing.
+	TraceOut string `json:"traceOut,omitempty"`
 
 	// SpecPath is CLI plumbing for `itr run -spec`; it is not part of the
 	// declarative spec.
@@ -149,6 +158,10 @@ type CampaignSpec struct {
 	// campaign fast-forward (0 = fault.DefaultSnapshotInterval, negative =
 	// disabled); results are identical either way.
 	SnapshotInterval int64 `json:"snapshotInterval,omitempty"`
+	// LatencyHist prints the detection-latency distribution after the
+	// campaign: log2-bucket tables of cycles and trace length (committed
+	// instructions) from injection to first detection, with quantiles.
+	LatencyHist bool `json:"latencyHist,omitempty"`
 }
 
 // ShootoutSpec parameterizes the detector-backend comparison: the Figure 8

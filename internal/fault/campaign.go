@@ -4,10 +4,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"itr/internal/core"
 	"itr/internal/isa"
+	"itr/internal/obs"
 	"itr/internal/pipeline"
 	"itr/internal/program"
 	"itr/internal/stats"
@@ -27,15 +27,27 @@ type CampaignConfig struct {
 	// Progress, when non-nil, receives live campaign telemetry. One
 	// Progress may be shared across concurrent campaigns.
 	Progress *Progress
+	// LatencyCycles and LatencyInsts, when non-nil, receive one
+	// observation per detected injection: the machine time from the fault's
+	// decode event to the backend's first detection, in pipeline cycles and
+	// committed instructions respectively. Share one pair per backend to
+	// accumulate a latency distribution across campaigns.
+	LatencyCycles *obs.Hist
+	LatencyInsts  *obs.Hist
+	// Tracer, when non-nil, records the campaign timeline: the pilot's
+	// snapshot captures and each worker's injection start/classify events,
+	// with the worker's pipeline events interleaved on the same ring.
+	Tracer *obs.Tracer
 }
 
 // Progress accumulates live campaign telemetry across injection workers and
-// benchmarks. All fields are atomic so a progress ticker can read them while
-// the campaign runs. Pair it with a pipeline.Probe on
+// benchmarks. Injections is sharded per worker and merged on read, so a
+// progress ticker can read it while the campaign runs without making the
+// workers contend. Pair it with a pipeline.Probe on
 // Experiment.Pipeline.Probe for cycle/decode/restore counts.
 type Progress struct {
 	// Injections counts completed injection experiments.
-	Injections atomic.Int64
+	Injections obs.Counter
 }
 
 // DefaultCampaignConfig returns a scaled-down campaign (raise Faults to 1000
@@ -117,7 +129,11 @@ func RunCampaign(name string, prog *program.Program, cfg CampaignConfig) (Campai
 	// matches what any injection run sees up to its fault point.
 	window := cfg.Experiment.WindowCycles
 	interval := cfg.Experiment.EffectiveSnapshotInterval()
-	pilot, err := pipeline.New(prog, cfg.Experiment.pipelineConfig(core.ModeObserve))
+	pilotCfg := cfg.Experiment
+	if cfg.Tracer != nil {
+		pilotCfg.Pipeline.Trace = cfg.Tracer.Ring("fault-pilot")
+	}
+	pilot, err := pipeline.New(prog, pilotCfg.pipelineConfig(core.ModeObserve))
 	if err != nil {
 		return res, fmt.Errorf("campaign pilot: %w", err)
 	}
@@ -202,19 +218,43 @@ func RunCampaign(name string, prog *program.Program, cfg CampaignConfig) (Campai
 	work := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			// One arena per worker: the observe and verify machines are
 			// built once and recycled via Restore across every injection
-			// this worker runs.
-			ar := newRunArena(prog, cfg.Experiment)
+			// this worker runs. The worker's ring is single-writer — the
+			// arena machines run on this goroutine, so their pipeline
+			// events interleave with the injection markers safely.
+			wcfg := cfg.Experiment
+			var ring *obs.Ring
+			if cfg.Tracer != nil {
+				ring = cfg.Tracer.Ring(fmt.Sprintf("fault-worker-%d", w))
+				wcfg.Pipeline.Trace = ring
+			}
+			ar := newRunArena(prog, wcfg)
 			for i := range work {
-				details[i], errs[i] = runOne(prog, oracle, cfg.Experiment, injections[i], rc, ar)
+				inj := injections[i]
+				ring.Emit(obs.EvInjectStart, inj.DecodeIndex, int64(inj.Bit))
+				details[i], errs[i] = runOne(prog, oracle, wcfg, inj, rc, ar)
+				d := details[i]
+				detected := int64(0)
+				if errs[i] == nil && d.Detected {
+					detected = 1
+					if d.LatencyCycles >= 0 {
+						if cfg.LatencyCycles != nil {
+							cfg.LatencyCycles.Observe(d.LatencyCycles)
+						}
+						if cfg.LatencyInsts != nil {
+							cfg.LatencyInsts.Observe(d.LatencyInsts)
+						}
+					}
+				}
+				ring.Emit(obs.EvInjectClassify, inj.DecodeIndex, detected)
 				if cfg.Progress != nil {
-					cfg.Progress.Injections.Add(1)
+					cfg.Progress.Injections.AddAt(uint32(w), 1)
 				}
 			}
-		}()
+		}(w)
 	}
 	for i := range injections {
 		work <- i

@@ -78,6 +78,13 @@ type Detail struct {
 	Halted         bool
 	FaultyResident bool // faulty signature still in ITR cache at window end
 
+	// Detection latency (observe run): machine time from the injection's
+	// decode event to the backend's first detection, in pipeline cycles
+	// and committed instructions (the trace length the fault survived).
+	// Both are -1 when the fault went undetected.
+	LatencyCycles int64
+	LatencyInsts  int64
+
 	// Verify-run facts (zero value when verification is disabled).
 	Verified        bool
 	RecoveredInFull bool // full protocol recovered (retry matched)
@@ -349,7 +356,7 @@ func (a *runArena) verifyCPU(snap *pipeline.Snapshot) (*pipeline.CPU, error) {
 // cold one — the snapshot captures the complete machine state and the fault
 // fires strictly after it.
 func runOne(prog *program.Program, oracle *SigOracle, cfg Config, inj Injection, rc *replayContext, ar *runArena) (Detail, error) {
-	det := Detail{Injection: inj}
+	det := Detail{Injection: inj, LatencyCycles: -1, LatencyInsts: -1}
 	snap := rc.nearest(inj.DecodeIndex)
 
 	// ---- observe run: natural outcome + detection facts ----
@@ -378,7 +385,8 @@ func runOne(prog *program.Program, oracle *SigOracle, cfg Config, inj Injection,
 		cpu.SetCommitObserver(g.observe)
 		diverged = func() bool { return g.diverged }
 	}
-	cpu.SetFaultHook(hook(inj, cpu))
+	var injPt injectionPoint
+	cpu.SetFaultHook(hook(inj, cpu, &injPt))
 	res := cpu.Run(budget)
 
 	det.NaturalSDC = diverged()
@@ -388,6 +396,12 @@ func runOne(prog *program.Program, oracle *SigOracle, cfg Config, inj Injection,
 
 	detections := cpu.Detector().Detections()
 	det.Detected = len(detections) > 0
+	if stamps := cpu.DetectionStamps(); det.Detected && injPt.fired && len(stamps) > 0 {
+		// Stamps were reset at the fast-forward Restore and the snapshot's
+		// prefix is fault-free, so the first stamp is the first detection.
+		det.LatencyCycles = stamps[0].Cycle - injPt.cycle
+		det.LatencyInsts = stamps[0].Committed - injPt.committed
+	}
 	if det.Detected && detect.PreCommit(cfg.Pipeline.Detector) {
 		// Recoverability only exists for backends that detect before the
 		// faulty instance commits: a chunked-replay verdict arrives after
@@ -450,7 +464,8 @@ func runOne(prog *program.Program, oracle *SigOracle, cfg Config, inj Injection,
 			}
 			vdiverged = func() bool { return vg.diverged }
 		}
-		vcpu.SetFaultHook(hook(inj, vcpu))
+		var vinjPt injectionPoint
+		vcpu.SetFaultHook(hook(inj, vcpu, &vinjPt))
 		vres := vcpu.Run(vbudget)
 		det.Verified = true
 		det.RecoveredInFull = vcpu.Detector().Stats().Recoveries > 0
@@ -462,16 +477,27 @@ func runOne(prog *program.Program, oracle *SigOracle, cfg Config, inj Injection,
 	return det, nil
 }
 
-// hook returns a FaultHook flipping the injection's bit exactly once. After
-// the flip it uninstalls itself from cpu — the remainder of the window (the
-// vast majority of its decode events) runs hook-free. An installed-but-fired
-// hook would return every later instruction's signals unchanged, so clearing
-// it is behaviorally invisible.
-func hook(inj Injection, cpu *pipeline.CPU) pipeline.FaultHook {
-	done := false
+// injectionPoint records the machine time at which the fault hook fired:
+// the cycle and committed-instruction counts when the bit was flipped.
+// Detection latency is the first detection stamp minus this point.
+type injectionPoint struct {
+	fired     bool
+	cycle     int64
+	committed int64
+}
+
+// hook returns a FaultHook flipping the injection's bit exactly once,
+// recording the flip's machine time in at. After the flip it uninstalls
+// itself from cpu — the remainder of the window (the vast majority of its
+// decode events) runs hook-free. An installed-but-fired hook would return
+// every later instruction's signals unchanged, so clearing it is
+// behaviorally invisible.
+func hook(inj Injection, cpu *pipeline.CPU, at *injectionPoint) pipeline.FaultHook {
 	return func(i int64, pc uint64, wrongPath bool, d isa.DecodeSignals) isa.DecodeSignals {
-		if !done && i == inj.DecodeIndex {
-			done = true
+		if !at.fired && i == inj.DecodeIndex {
+			at.fired = true
+			at.cycle = cpu.CycleCount()
+			at.committed = cpu.CommittedInsts()
 			cpu.SetFaultHook(nil)
 			return d.FlipBit(inj.Bit)
 		}

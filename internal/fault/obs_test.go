@@ -1,0 +1,107 @@
+package fault
+
+import (
+	"fmt"
+	"testing"
+
+	"itr/internal/obs"
+)
+
+// TestRunOneLatencyStamp pins the Detail latency contract: a detected fault
+// carries non-negative injection-to-detection distances in both cycles and
+// committed instructions, and an injection that never fires reports -1.
+func TestRunOneLatencyStamp(t *testing.T) {
+	p := testProgram(t)
+	oracle := NewSigOracle(p)
+
+	det, err := RunOne(p, oracle, quickConfig(), Injection{DecodeIndex: 500, Bit: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !det.Detected {
+		t.Fatalf("lat fault undetected: %+v", det)
+	}
+	if det.LatencyCycles < 0 || det.LatencyInsts < 0 {
+		t.Fatalf("detected fault has no latency: cycles=%d insts=%d",
+			det.LatencyCycles, det.LatencyInsts)
+	}
+
+	// An injection index past the window never fires: no detection, no
+	// latency.
+	far, err := RunOne(p, oracle, quickConfig(), Injection{DecodeIndex: 1 << 40, Bit: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if far.Detected {
+		t.Fatalf("unfired injection classified as detected: %+v", far)
+	}
+	if far.LatencyCycles != -1 || far.LatencyInsts != -1 {
+		t.Fatalf("unfired injection has latency: cycles=%d insts=%d",
+			far.LatencyCycles, far.LatencyInsts)
+	}
+}
+
+// TestCampaignLatencyHistograms runs a campaign with the observability hooks
+// attached and checks that the histogram totals reconcile exactly against
+// the per-injection details, the progress counter matches the fault count,
+// and the tracer saw one start/classify marker pair per injection.
+func TestCampaignLatencyHistograms(t *testing.T) {
+	p := testProgram(t)
+	cfg := DefaultCampaignConfig()
+	cfg.Faults = 12
+	cfg.Experiment.WindowCycles = 15_000
+	cfg.Workers = 3
+	cfg.Progress = &Progress{}
+	cfg.LatencyCycles = &obs.Hist{}
+	cfg.LatencyInsts = &obs.Hist{}
+	cfg.Tracer = obs.NewTracer(1024)
+
+	res, err := RunCampaign("obs", p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wantObs int64
+	for _, d := range res.Details {
+		if d.Detected != (d.LatencyCycles >= 0) {
+			t.Errorf("detail %+v: Detected and LatencyCycles disagree", d)
+		}
+		if (d.LatencyCycles >= 0) != (d.LatencyInsts >= 0) {
+			t.Errorf("detail %+v: cycle and instruction latencies disagree", d)
+		}
+		if d.LatencyCycles >= 0 {
+			wantObs++
+		}
+	}
+	if wantObs == 0 {
+		t.Fatal("no detected faults; the histogram check would be vacuous")
+	}
+	if got := cfg.LatencyCycles.Count(); got != wantObs {
+		t.Errorf("latency-cycles hist count = %d, want %d", got, wantObs)
+	}
+	if got := cfg.LatencyInsts.Count(); got != wantObs {
+		t.Errorf("latency-insts hist count = %d, want %d", got, wantObs)
+	}
+	if got := cfg.Progress.Injections.Load(); got != int64(cfg.Faults) {
+		t.Errorf("progress injections = %d, want %d", got, cfg.Faults)
+	}
+
+	// Every worker ring carries a balanced start/classify stream summing to
+	// the fault count.
+	var starts, classifies int
+	for w := 0; w < cfg.Workers; w++ {
+		ring := cfg.Tracer.Ring(fmt.Sprintf("fault-worker-%d", w))
+		for _, e := range ring.Events() {
+			switch e.Kind {
+			case obs.EvInjectStart:
+				starts++
+			case obs.EvInjectClassify:
+				classifies++
+			}
+		}
+	}
+	if starts != cfg.Faults || classifies != cfg.Faults {
+		t.Errorf("tracer saw %d starts, %d classifies, want %d each",
+			starts, classifies, cfg.Faults)
+	}
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is bits.Len64 of the largest observable value plus one:
+// bucket i holds observations v with bits.Len64(v) == i, i.e. bucket 0 is
+// exactly {0} and bucket i>0 covers [2^(i-1), 2^i - 1].
+const histBuckets = 65
+
+// Hist is a fixed-bucket log2 histogram of non-negative int64
+// observations. Buckets are power-of-two ranges, so Observe is one
+// bits.Len64 plus three uncontended-in-practice atomic adds — no locks, no
+// allocation, safe from any number of goroutines. Quantiles are approximate
+// to within the bucket width (a factor of two), which is the right fidelity
+// for latency distributions spanning many decades of cycles.
+//
+// The zero value is ready to use. Do not copy after first use.
+type Hist struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one value. Negative values clamp to zero.
+func (h *Hist) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Hist) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Hist) Sum() int64 { return h.sum.Load() }
+
+// Mean returns the mean observation, or 0 with no observations.
+func (h *Hist) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// bucketHi returns the inclusive upper bound of bucket i.
+func bucketHi(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	if i >= 64 {
+		return int64(^uint64(0) >> 1) // MaxInt64
+	}
+	return int64(uint64(1)<<uint(i)) - 1
+}
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1): the
+// inclusive upper edge of the first bucket whose cumulative count reaches
+// q*Count. Returns 0 with no observations.
+func (h *Hist) Quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := int64(q*float64(total) + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			return bucketHi(i)
+		}
+	}
+	return bucketHi(histBuckets - 1)
+}
+
+// Bucket is one non-empty histogram bucket: observations in [Lo, Hi].
+type Bucket struct {
+	Lo, Hi int64
+	Count  int64
+}
+
+// Buckets returns the non-empty buckets in ascending range order.
+func (h *Hist) Buckets() []Bucket {
+	var out []Bucket
+	for i := 0; i < histBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		lo := int64(0)
+		if i > 0 {
+			lo = bucketHi(i-1) + 1
+		}
+		out = append(out, Bucket{Lo: lo, Hi: bucketHi(i), Count: n})
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
+	"time"
+)
+
+// Server is a live telemetry HTTP endpoint bound to one registry:
+//
+//	/metrics       Prometheus text exposition of the registry
+//	/debug/vars    expvar JSON (registry snapshot under "itr_metrics")
+//	/debug/pprof/  net/http/pprof profiles of the running process
+//
+// It exists so a long campaign can be scraped and profiled while in
+// flight; the experiment engine starts it when the spec carries a
+// telemetry address and closes it when the run finishes.
+type Server struct {
+	// Addr is the resolved listen address (useful when the requested
+	// address was ":0").
+	Addr string
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve listens on addr and serves reg until Close. The listener is bound
+// synchronously — on return the endpoint is scrapeable — while request
+// serving runs on a background goroutine.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	publishExpvar(reg)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+
+	s := &Server{
+		Addr: ln.Addr().String(),
+		ln:   ln,
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+	}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Close stops the listener and any in-flight handlers.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -1,0 +1,287 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// EventKind identifies a typed trace event. Events carry no strings — a
+// ring entry is five machine words — so the kind enumerates everything the
+// exporter needs to name an event.
+type EventKind uint8
+
+const (
+	evInvalid EventKind = iota
+	// EvSnapshotCapture: a pipeline CPU captured a COW snapshot.
+	// Cycle = capture cycle, Arg = pages referenced by the snapshot.
+	EvSnapshotCapture
+	// EvSnapshotRestore: a CPU restored (or fast-forwarded from) a
+	// snapshot. Cycle = the restored-to cycle, Arg = 0.
+	EvSnapshotRestore
+	// EvDetectorPoll: a commit-stage slow poll (PollQuick returned false).
+	// Cycle = poll cycle, Arg = the returned core.ActionKind.
+	EvDetectorPoll
+	// EvDetection: the detector's mismatch count advanced. Cycle =
+	// detection cycle, Arg = committed instructions at detection.
+	EvDetection
+	// EvRollback: an ITR retry flush rewound the machine. Cycle = flush
+	// cycle, Arg = restart PC.
+	EvRollback
+	// EvInjectStart: a campaign worker began an injection run.
+	// Cycle = target decode-event index, Arg = flipped bit.
+	EvInjectStart
+	// EvInjectClassify: the injection's observe/verify runs finished and
+	// the outcome was classified. Cycle = target decode-event index,
+	// Arg = 1 if the backend detected the fault, else 0.
+	EvInjectClassify
+	// EvSweepCell: a design-space sweep cell completed. Cycle = completed
+	// cells so far, Arg = cell wall-clock in microseconds.
+	EvSweepCell
+	// EvStage: an experiment stage span. Cycle = 0, Arg = the stage's
+	// index in the manifest stage list. Dur covers the stage.
+	EvStage
+)
+
+var eventKindNames = [...]string{
+	evInvalid:         "invalid",
+	EvSnapshotCapture: "snapshot-capture",
+	EvSnapshotRestore: "snapshot-restore",
+	EvDetectorPoll:    "detector-poll",
+	EvDetection:       "detection",
+	EvRollback:        "rollback",
+	EvInjectStart:     "inject-start",
+	EvInjectClassify:  "inject-classify",
+	EvSweepCell:       "sweep-cell",
+	EvStage:           "stage",
+}
+
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one ring entry: a wall-clock timestamp (µs since the tracer
+// started), an optional duration for spans, the kind, and two kind-specific
+// payload words — by convention Cycle carries a simulated-time coordinate
+// and Arg everything else (see the kind docs).
+type Event struct {
+	TS    int64 // µs since Tracer start
+	Dur   int64 // µs; 0 for instant events
+	Kind  EventKind
+	Cycle int64
+	Arg   int64
+}
+
+// Ring is a bounded single-writer event buffer. Emit overwrites the oldest
+// entry once full and never blocks, locks, or allocates, so it is safe on
+// the pipeline's commit path. Exactly one goroutine may emit to a ring at a
+// time (ownership may transfer between goroutines across a happens-before
+// edge, e.g. successive campaign stages joined by WaitGroups); readers must
+// wait for writers to quiesce. A nil *Ring is valid and drops everything,
+// so call sites don't need nil checks.
+type Ring struct {
+	t     *Tracer
+	label string
+	buf   []Event
+	next  int   // index of the slot Emit writes next
+	total int64 // events emitted over the ring's lifetime
+}
+
+// Emit records an instant event. The nil check inlines at the call site,
+// so an untraced (nil-ring) emit costs one predictable branch — cheap
+// enough for the pipeline's flush and slow-poll paths.
+func (r *Ring) Emit(kind EventKind, cycle, arg int64) {
+	if r == nil {
+		return
+	}
+	r.emit(kind, cycle, arg)
+}
+
+func (r *Ring) emit(kind EventKind, cycle, arg int64) {
+	r.push(Event{TS: r.t.now(), Kind: kind, Cycle: cycle, Arg: arg})
+}
+
+// EmitSpan records a completed span that started at start and ends now.
+func (r *Ring) EmitSpan(kind EventKind, start time.Time, cycle, arg int64) {
+	if r == nil {
+		return
+	}
+	ts := start.Sub(r.t.start).Microseconds()
+	if ts < 0 {
+		ts = 0
+	}
+	r.push(Event{TS: ts, Dur: r.t.now() - ts, Kind: kind, Cycle: cycle, Arg: arg})
+}
+
+func (r *Ring) push(e Event) {
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+	}
+	r.total++
+}
+
+// Len returns the number of events currently held (≤ capacity).
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	if r.total < int64(len(r.buf)) {
+		return int(r.total)
+	}
+	return len(r.buf)
+}
+
+// Dropped returns how many events were overwritten by newer ones.
+func (r *Ring) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	if d := r.total - int64(len(r.buf)); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// Events returns the held events oldest-first. Call only after the ring's
+// writer has quiesced.
+func (r *Ring) Events() []Event {
+	n := r.Len()
+	out := make([]Event, 0, n)
+	if n == 0 {
+		return out
+	}
+	start := 0
+	if r.total > int64(len(r.buf)) {
+		start = r.next // oldest surviving entry
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// DefaultRingCap is the per-ring event capacity when NewTracer is given a
+// non-positive capacity: 4096 events × 40 bytes ≈ 160 KiB per ring.
+const DefaultRingCap = 4096
+
+// Tracer owns a set of labeled rings and the shared wall-clock epoch.
+// Ring lookup/creation takes a mutex (call it once per worker, not per
+// event); emission on the returned ring is lock-free.
+type Tracer struct {
+	start   time.Time
+	ringCap int
+
+	mu    sync.Mutex
+	rings []*Ring
+	index map[string]*Ring
+}
+
+// NewTracer returns a tracer whose rings hold ringCap events each
+// (DefaultRingCap if ringCap <= 0).
+func NewTracer(ringCap int) *Tracer {
+	if ringCap <= 0 {
+		ringCap = DefaultRingCap
+	}
+	return &Tracer{
+		start:   time.Now(),
+		ringCap: ringCap,
+		index:   make(map[string]*Ring),
+	}
+}
+
+func (t *Tracer) now() int64 { return time.Since(t.start).Microseconds() }
+
+// Ring returns the ring with the given label, creating it on first use.
+// The label becomes the thread name in the Chrome export. The caller is
+// responsible for the single-writer discipline on the returned ring.
+func (t *Tracer) Ring(label string) *Ring {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if r, ok := t.index[label]; ok {
+		return r
+	}
+	r := &Ring{t: t, label: label, buf: make([]Event, t.ringCap)}
+	t.index[label] = r
+	t.rings = append(t.rings, r)
+	return r
+}
+
+// TotalEvents returns the lifetime event count across all rings (including
+// overwritten entries).
+func (t *Tracer) TotalEvents() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var n int64
+	for _, r := range t.rings {
+		n += r.total
+	}
+	return n
+}
+
+// chromeEvent is one entry of the Chrome trace-event JSON format
+// (catapult "trace event format"; loadable in Perfetto and
+// chrome://tracing). ph "i" is an instant event, "X" a complete span, "M" a
+// metadata record (thread names).
+type chromeEvent struct {
+	Name string `json:"name"`
+	Ph   string `json:"ph"`
+	TS   int64  `json:"ts"`
+	Dur  int64  `json:"dur,omitempty"`
+	PID  int    `json:"pid"`
+	TID  int    `json:"tid"`
+	S    string `json:"s,omitempty"`
+	Args any    `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeJSON merges all rings (oldest-first per ring, globally sorted
+// by timestamp) into one Chrome trace-event JSON document. Each ring is
+// rendered as a named thread of pid 1. Call only after all ring writers
+// have quiesced.
+func (t *Tracer) WriteChromeJSON(w io.Writer) error {
+	t.mu.Lock()
+	rings := append([]*Ring(nil), t.rings...)
+	t.mu.Unlock()
+
+	var out []chromeEvent
+	for tid, r := range rings {
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: tid + 1,
+			Args: map[string]string{"name": r.label},
+		})
+		for _, e := range r.Events() {
+			ce := chromeEvent{
+				Name: e.Kind.String(),
+				TS:   e.TS,
+				PID:  1,
+				TID:  tid + 1,
+				Args: map[string]int64{"cycle": e.Cycle, "arg": e.Arg},
+			}
+			if e.Dur > 0 {
+				ce.Ph, ce.Dur = "X", e.Dur
+			} else {
+				ce.Ph, ce.S = "i", "t"
+			}
+			out = append(out, ce)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Ph == "M" || out[j].Ph == "M" {
+			return out[i].Ph == "M" && out[j].Ph != "M"
+		}
+		return out[i].TS < out[j].TS
+	})
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: out, DisplayTimeUnit: "ms"})
+}

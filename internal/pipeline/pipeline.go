@@ -9,6 +9,7 @@ import (
 	"itr/internal/core"
 	"itr/internal/detect"
 	"itr/internal/isa"
+	"itr/internal/obs"
 	"itr/internal/program"
 	"itr/internal/trace"
 )
@@ -75,38 +76,52 @@ type Config struct {
 	// decode events, snapshot restores). One probe may be shared by many
 	// CPUs running concurrently; it never affects simulation results.
 	Probe *Probe
+
+	// Trace, when non-nil, receives cycle-stamped machine events (snapshot
+	// capture/restore, slow detector polls, detections, retry rollbacks)
+	// on a bounded ring. Rings are single-writer: share a ring between
+	// CPUs only if they run on the same goroutine (the campaign workers
+	// give each arena its own). Like Probe, it never affects simulation.
+	Trace *obs.Ring
+
+	// pad keeps the embedded Config's size a multiple of 64 bytes, so the
+	// hot CPU fields that follow it keep their pre-Trace cache-line
+	// alignment (measurable on the tightest pipeline benchmarks).
+	_pad [56]byte
 }
 
-// Probe accumulates telemetry across pipeline runs. All fields are atomic,
-// so a single probe can be shared by every CPU of a campaign and read live
-// by a progress ticker. Counters are updated at run boundaries (end of each
-// Run/RunUntilDecode call and each Restore), not per cycle, so probing is
-// free on the hot path.
+// Probe accumulates telemetry across pipeline runs. Fields are sharded
+// lock-free counters (obs.Counter), so a single probe can be shared by
+// every CPU of a campaign — each CPU adds on its own shard, so concurrent
+// workers never contend on a cache line — and read live by a progress
+// ticker or /metrics scrape. Counters are updated at run boundaries (end
+// of each Run/RunUntilDecode call and each Restore), not per cycle, so
+// probing is free on the hot path.
 type Probe struct {
 	// Cycles is the total number of cycles simulated.
-	Cycles atomic.Int64
+	Cycles obs.Counter
 	// DecodeEvents is the total number of decode events observed.
-	DecodeEvents atomic.Int64
+	DecodeEvents obs.Counter
 	// SnapshotRestores counts Restore calls (campaign fast-forwards).
-	SnapshotRestores atomic.Int64
+	SnapshotRestores obs.Counter
 	// SnapshotCaptures counts Snapshot calls (pilot snapshot series).
-	SnapshotCaptures atomic.Int64
+	SnapshotCaptures obs.Counter
 	// SnapshotPagesShared counts memory pages captured by reference at
 	// snapshot boundaries — pages a pre-COW deep copy would have duplicated.
-	SnapshotPagesShared atomic.Int64
+	SnapshotPagesShared obs.Counter
 	// SnapshotPagesCopied counts memory pages physically copied by the
 	// copy-on-write write path (first store to a page shared with a
 	// snapshot); SnapshotBytesCopied is the same in bytes. Together they are
 	// the total page-copying work the snapshot machinery actually performed,
 	// which scales with pages dirtied between boundaries rather than with
 	// the benchmark's whole footprint.
-	SnapshotPagesCopied atomic.Int64
-	SnapshotBytesCopied atomic.Int64
+	SnapshotPagesCopied obs.Counter
+	SnapshotBytesCopied obs.Counter
 	// DetectorPolls counts commit-time detector polls (one per committing
 	// instruction while a detector is attached).
-	DetectorPolls atomic.Int64
+	DetectorPolls obs.Counter
 	// DetectorDetections counts mismatches the detector recorded.
-	DetectorDetections atomic.Int64
+	DetectorDetections obs.Counter
 }
 
 // CheckpointPolicy is the rule deciding when checkpoints are taken and when
@@ -351,7 +366,41 @@ type CPU struct {
 	detPolls          int64
 	detPollsSeen      int64
 	detDetectionsSeen int64
+
+	// obsShard selects this CPU's shard in the shared probe's counters,
+	// assigned round-robin at construction so concurrent campaign workers
+	// publish to distinct cache lines.
+	obsShard uint32
+
+	// detStamps timestamps each detector mismatch observed by this machine
+	// since construction or the last Restore; detStamped is the detector
+	// mismatch count already stamped (rewound alongside the detector).
+	// detMismatch points at the detector's live mismatch counter
+	// (Detector.MismatchCount, cached at construction) so the per-trace
+	// retirement check is one load, not an interface call.
+	detStamps   []DetectionStamp
+	detStamped  int64
+	detMismatch *int64
 }
+
+// DetectionStamp records the machine time at which one detector mismatch
+// surfaced: the cycle count and committed-instruction count at the slow
+// poll or trace retirement that recorded it. Fault studies subtract the
+// injection point to get detection latency.
+type DetectionStamp struct {
+	Cycle     int64
+	Committed int64
+}
+
+// DetectionStamps returns the stamps of detector mismatches observed since
+// construction or the last Restore, in detection order. The slice aligns
+// with the tail of Detector().Detections(): a restored detector may carry
+// pre-snapshot detections the recycled machine never observed, but
+// campaign snapshots are fault-free, so there stamp i is detection i.
+func (c *CPU) DetectionStamps() []DetectionStamp { return c.detStamps }
+
+// obsShardSeq distributes CPUs over probe shards round-robin.
+var obsShardSeq atomic.Uint32
 
 // New builds a CPU over prog with the given configuration.
 func New(prog *program.Program, cfg Config) (*CPU, error) {
@@ -367,6 +416,7 @@ func New(prog *program.Program, cfg Config) (*CPU, error) {
 		fq:         make([]fetchedInst, nextPow2(cfg.FetchQueue)),
 		fetchPC:    prog.Entry,
 		expectedPC: prog.Entry,
+		obsShard:   obsShardSeq.Add(1),
 	}
 	c.robMask = uint64(c.slots.capacity - 1)
 	c.fqMask = uint64(len(c.fq) - 1)
@@ -379,6 +429,7 @@ func New(prog *program.Program, cfg Config) (*CPU, error) {
 		}
 		c.det = det
 		c.itr, _ = det.(*core.Checker)
+		c.detMismatch = det.MismatchCount()
 	}
 	if cfg.RenameITREnabled {
 		if !cfg.ITREnabled {
@@ -514,17 +565,17 @@ func (c *CPU) RunUntilDecode(maxCycles, stopDecode int64) Result {
 		c.stepCycle()
 	}
 	if p := c.cfg.Probe; p != nil {
-		p.Cycles.Add(c.cycle - start)
-		p.DecodeEvents.Add(c.decodeEvents - decodeStart)
+		p.Cycles.AddAt(c.obsShard, c.cycle-start)
+		p.DecodeEvents.AddAt(c.obsShard, c.decodeEvents-decodeStart)
 		c.publishCowCopies(p)
 		if d := c.detPolls - c.detPollsSeen; d > 0 {
-			p.DetectorPolls.Add(d)
+			p.DetectorPolls.AddAt(c.obsShard, d)
 			c.detPollsSeen = c.detPolls
 		}
 		if c.det != nil {
 			m := c.det.Stats().Mismatches
 			if d := m - c.detDetectionsSeen; d > 0 {
-				p.DetectorDetections.Add(d)
+				p.DetectorDetections.AddAt(c.obsShard, d)
 			}
 			c.detDetectionsSeen = m
 		}
@@ -624,7 +675,17 @@ func (c *CPU) commitStage() {
 				quick = c.det.PollQuick()
 			}
 			if !quick {
-				switch a := c.det.Poll(); a.Kind {
+				a := c.det.Poll()
+				// Slow polls are where mismatches surface, so stamping
+				// here keeps detection-latency tracking off the
+				// quick-poll hot path. The counter guard matters for the
+				// default backend, whose slow polls are routine (one per
+				// checked trace) and overwhelmingly mismatch-free.
+				c.cfg.Trace.Emit(obs.EvDetectorPoll, c.cycle, int64(a.Kind))
+				if *c.detMismatch > c.detStamped {
+					c.stampDetections()
+				}
+				switch a.Kind {
 				case core.ActionStall:
 					return
 				case core.ActionRetry:
@@ -704,7 +765,15 @@ func (c *CPU) commitStage() {
 			if c.itr != nil {
 				c.itr.CommitTraceEnd()
 			} else if c.det != nil {
+				// Rival backends (RepTFD, DME) record mismatches during
+				// trace retirement rather than in Poll; stamp them here.
+				// The devirtualized ITR path records only in Poll, so it
+				// skips the extra check. The counter load keeps the
+				// no-mismatch case (every fault-free trace) call-free.
 				c.det.CommitTraceEnd()
+				if *c.detMismatch > c.detStamped {
+					c.stampDetections()
+				}
 			}
 			if c.renameChecker != nil {
 				c.renameChecker.CommitTraceEnd()
@@ -719,11 +788,26 @@ func (c *CPU) commitStage() {
 	}
 }
 
+// stampDetections timestamps any mismatches the detector has recorded
+// since the last stamp, attributing them to the current cycle and
+// committed-instruction count. Callers invoke it only on slow paths (slow
+// polls, and rival-backend trace retirements whose counter advanced),
+// never per commit.
+func (c *CPU) stampDetections() {
+	m := *c.detMismatch
+	for c.detStamped < m {
+		c.detStamped++
+		c.detStamps = append(c.detStamps, DetectionStamp{Cycle: c.cycle, Committed: c.committedCount})
+		c.cfg.Trace.Emit(obs.EvDetection, c.cycle, c.committedCount)
+	}
+}
+
 // itrFlush implements the Section 2.2 recovery: flush the whole window and
 // restart fetch at the faulting trace's start PC. Architectural state is
 // intact because nothing from the flushed window committed.
 func (c *CPU) itrFlush(restartPC uint64) {
 	c.itrFlushes++
+	c.cfg.Trace.Emit(obs.EvRollback, c.cycle, int64(restartPC))
 	c.robTail = c.robHead
 	for i := range c.wheel {
 		c.wheel[i] = c.wheel[i][:0]

@@ -6,6 +6,7 @@ import (
 	"itr/internal/checkpoint"
 	"itr/internal/core"
 	"itr/internal/isa"
+	"itr/internal/obs"
 	"itr/internal/trace"
 )
 
@@ -111,8 +112,8 @@ func (c *CPU) publishCowCopies(p *Probe) {
 	if n := c.mem.CopiedPages(); n > c.memCopiedSeen {
 		delta := n - c.memCopiedSeen
 		c.memCopiedSeen = n
-		p.SnapshotPagesCopied.Add(delta)
-		p.SnapshotBytesCopied.Add(delta * isa.PageBytes)
+		p.SnapshotPagesCopied.AddAt(c.obsShard, delta)
+		p.SnapshotBytesCopied.AddAt(c.obsShard, delta*isa.PageBytes)
 	}
 }
 
@@ -199,10 +200,11 @@ func (c *CPU) Snapshot() *Snapshot {
 		s.ckpt = c.ckpt.CaptureState()
 	}
 	if p := c.cfg.Probe; p != nil {
-		p.SnapshotCaptures.Add(1)
-		p.SnapshotPagesShared.Add(int64(s.mem.SharedPages()))
+		p.SnapshotCaptures.AddAt(c.obsShard, 1)
+		p.SnapshotPagesShared.AddAt(c.obsShard, int64(s.mem.SharedPages()))
 		c.publishCowCopies(p)
 	}
+	c.cfg.Trace.Emit(obs.EvSnapshotCapture, c.cycle, int64(s.mem.NumPages()))
 	return s
 }
 
@@ -220,9 +222,10 @@ func (c *CPU) Snapshot() *Snapshot {
 func (c *CPU) Restore(s *Snapshot) error {
 	want, have := s.cfg, c.cfg
 	want.ITRMode, have.ITRMode = 0, 0
-	// The probe is observability, not machine state: snapshots restore
-	// across CPUs wired to different (or no) probes.
+	// The probe and trace ring are observability, not machine state:
+	// snapshots restore across CPUs wired to different (or no) probes.
 	want.Probe, have.Probe = nil, nil
+	want.Trace, have.Trace = nil, nil
 	if want != have {
 		return fmt.Errorf("pipeline: snapshot config %+v does not structurally match CPU config %+v", s.cfg, c.cfg)
 	}
@@ -248,9 +251,12 @@ func (c *CPU) Restore(s *Snapshot) error {
 		if err := c.det.RestoreState(s.det); err != nil {
 			return fmt.Errorf("pipeline: restore detector: %w", err)
 		}
-		// Re-seed the probe's detection delta base: the detector's mismatch
-		// counter just rewound to the snapshot's value.
+		// Re-seed the probe's detection delta base and the stamp cursor:
+		// the detector's mismatch counter just rewound to the snapshot's
+		// value, and stamps of the abandoned trajectory are meaningless.
 		c.detDetectionsSeen = c.det.Stats().Mismatches
+		c.detStamps = c.detStamps[:0]
+		c.detStamped = c.detDetectionsSeen
 	}
 	if c.renameChecker != nil {
 		if err := c.renameChecker.RestoreState(s.renameChecker); err != nil {
@@ -298,9 +304,10 @@ func (c *CPU) Restore(s *Snapshot) error {
 	c.terminated = s.terminated
 	c.termination = s.termination
 	if p := c.cfg.Probe; p != nil {
-		p.SnapshotRestores.Add(1)
+		p.SnapshotRestores.AddAt(c.obsShard, 1)
 		c.publishCowCopies(p)
 	}
+	c.cfg.Trace.Emit(obs.EvSnapshotRestore, s.Cycle, 0)
 	return nil
 }
 

@@ -1,32 +1,33 @@
 package report
 
 import (
-	"sync/atomic"
-
+	"itr/internal/obs"
 	"itr/internal/workload"
 )
 
 // Probe collects sweep telemetry: how much event-stream work the report
 // entry points actually performed. Attach one to an Engine to have every
 // sweep, characterization and energy run account its traversals; the
-// experiment manifest and the -progress ticker surface the counters. All
-// fields are atomic — probes are updated concurrently from pool goroutines
-// and may be read while a run is in flight.
+// experiment manifest, the -progress ticker and the /metrics endpoint
+// surface the counters. Fields are lock-free obs counters — probes are
+// updated concurrently from pool goroutines and may be read while a run is
+// in flight.
 type Probe struct {
 	// StreamsGenerated counts functional event-stream generations (workload
 	// cache misses). Memoization working means this stays at one per
 	// (benchmark, covering budget) no matter how many sweeps replay it.
-	StreamsGenerated atomic.Int64
+	StreamsGenerated obs.Counter
 	// EventsReplayed counts trace events traversed (each event is counted
 	// once per stream pass, regardless of how many cache configurations the
 	// bank fans it out to).
-	EventsReplayed atomic.Int64
+	EventsReplayed obs.Counter
 	// CellsCompleted counts finished (benchmark, configuration) sweep cells.
-	CellsCompleted atomic.Int64
+	CellsCompleted obs.Counter
 }
 
 // observe folds one stream traversal's accounting into the engine's probe,
-// if it has one.
+// if it has one. Stream traversals are orders of magnitude rarer than the
+// events inside them, so these use the unsharded add.
 func (e *Engine) observe(info workload.StreamInfo) {
 	if e.Probe == nil {
 		return

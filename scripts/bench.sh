@@ -26,6 +26,38 @@ GATE_ALLOCS="${BENCH_GATE_ALLOCS:-1}"
 mkdir -p benchmarks
 go test -run '^$' -bench "$PATTERN" -benchtime "$TIME" -count "$COUNT" . | tee benchmarks/latest.txt
 
+# Machine-readable summary alongside the raw samples: min-of-N ns/op (and
+# B/op + allocs/op where reported) per benchmark, for dashboards and the CI
+# artifact. Written before the gate so a failing comparison still leaves the
+# numbers behind.
+awk '
+    function name(s) { sub(/-[0-9]+$/, "", s); return s }
+    function metric(unit,   i) {
+        for (i = 4; i <= NF; i++) if ($i == unit) return $(i - 1) + 0
+        return -1
+    }
+    $1 ~ /^Benchmark/ {
+        n = name($1)
+        if (!(n in ns)) order[++nn] = n
+        v = $3 + 0
+        if (!(n in ns) || v < ns[n]) ns[n] = v
+        b = metric("B/op");      if (b >= 0 && (!(n in bop) || b < bop[n])) bop[n] = b
+        a = metric("allocs/op"); if (a >= 0 && (!(n in aop) || a < aop[n])) aop[n] = a
+    }
+    END {
+        printf "{\n"
+        for (i = 1; i <= nn; i++) {
+            n = order[i]
+            printf "  \"%s\": {\"ns_per_op\": %g", n, ns[n]
+            if (n in bop) printf ", \"bytes_per_op\": %d", bop[n]
+            if (n in aop) printf ", \"allocs_per_op\": %d", aop[n]
+            printf "}%s\n", i < nn ? "," : ""
+        }
+        printf "}\n"
+    }
+' benchmarks/latest.txt > benchmarks/latest.json
+echo "bench.sh: wrote benchmarks/latest.json ($(wc -c < benchmarks/latest.json) bytes)"
+
 if [ ! -f benchmarks/baseline.txt ]; then
     echo "bench.sh: no benchmarks/baseline.txt — skipping comparison (run scripts/bench-update.sh to promote)"
     exit 0
