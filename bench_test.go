@@ -219,6 +219,7 @@ func figure8CampaignBench(b *testing.B, interval int64) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(res.DetectedPct(), "itr-detected-%")
+		b.ReportMetric(float64(res.Budget.CyclesSimulated)/float64(cfg.Faults), "cycles/injection")
 	}
 }
 

@@ -63,6 +63,24 @@ type Detector interface {
 	// evidence about pc after a checkpoint rollback, so re-execution
 	// re-learns it cleanly.
 	DiscardSignature(pc uint64)
+	// Settled reports whether the backend can still produce any
+	// detection, retry or machine-check event in the future, under the
+	// caller-guaranteed premise that every trace folding into the backend
+	// at a committed-instruction count strictly greater than cleanCommit
+	// is faithful (its dispatched signature equals the fault-free static
+	// decode of its start PC). diverged tells the backend whether the
+	// committed stream has permanently left the fault-free golden path;
+	// backends that shadow-execute the committed stream (DME) keep
+	// detecting on a diverged stream forever and must answer false.
+	// Settled returning true means the backend's detection verdict is
+	// final — the decided-outcome fault classifier uses it to stop
+	// simulating once nothing observable can change. False negatives are
+	// safe (the run continues); false positives would misclassify.
+	//
+	// Settled does NOT cover corrupted evidence a backend persists for
+	// later, unrelated accesses (a faulty resident ITR cache line); the
+	// caller audits that state separately where it can consult an oracle.
+	Settled(cleanCommit int64, diverged bool) bool
 	// Stats returns a copy of the backend's event counters.
 	Stats() Stats
 	// MismatchCount returns a pointer to the running mismatch total

@@ -95,6 +95,14 @@ func (r *ROB) At(seq uint64) *ROBEntry {
 	return &r.entries[seq&r.mask]
 }
 
+// Visit calls fn for every live entry, oldest first. Entries must not be
+// reordered or freed during the walk.
+func (r *ROB) Visit(fn func(*ROBEntry)) {
+	for seq := r.head; seq != r.tail; seq++ {
+		fn(&r.entries[seq&r.mask])
+	}
+}
+
 // PopHead frees the oldest entry (called when the trace-terminating
 // instruction commits, per Section 2.2).
 func (r *ROB) PopHead() {

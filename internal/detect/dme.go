@@ -260,6 +260,26 @@ func (d *DME) FlushAll() {
 // RetryArmed reports whether a flush-and-retry is outstanding.
 func (d *DME) RetryArmed() (uint64, bool) { return d.retryPC, d.retryArmed }
 
+// Settled implements core.Detector. The dual execution shadows the committed
+// stream, so a permanently diverged stream keeps tripping the shadow-PC
+// check forever — DME can never settle it. On a non-diverged stream the
+// shadow stays in lockstep (committed outcomes equal golden, faithful static
+// decode), so only transients block settlement: a pending divergence
+// awaiting Poll, a scheduled re-anchor, an armed retry, or an in-flight
+// entry whose dispatch compare already mismatched.
+func (d *DME) Settled(cleanCommit int64, diverged bool) bool {
+	if diverged || d.pendingCheck || d.resync || d.retryArmed {
+		return false
+	}
+	settled := true
+	d.rob.Visit(func(e *core.ROBEntry) {
+		if e.State != sig.CtrlChk {
+			settled = false
+		}
+	})
+	return settled
+}
+
 // SafeToCheckpoint: every committed trace has already been checked against
 // the second decode and the dual execution, so any quiescent point is safe.
 func (d *DME) SafeToCheckpoint() bool { return !d.pendingCheck }

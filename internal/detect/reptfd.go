@@ -187,6 +187,17 @@ func (d *RepTFD) FlushAll() {
 // RetryArmed always reports false: RepTFD never retries.
 func (d *RepTFD) RetryArmed() (uint64, bool) { return 0, false }
 
+// Settled implements core.Detector. Every in-flight entry just carries its
+// dispatched signature to commit, so under the caller's premise (all folds
+// after cleanCommit are faithful) the only corrupted state that can still
+// surface is a chunk that is pending action or an open chunk that started at
+// or before cleanCommit and may have folded a corrupted trace. Divergence is
+// irrelevant: each trace replays from its own start PC, so a faithfully
+// dispatched trace matches its replay wherever control flow went.
+func (d *RepTFD) Settled(cleanCommit int64, diverged bool) bool {
+	return !d.pending && (d.chunkLen == 0 || d.chunkStartNow > cleanCommit)
+}
+
 // SafeToCheckpoint permits checkpoints only at chunk boundaries with no
 // mismatch outstanding: an open chunk is committed-but-unverified state, the
 // exact hazard the strict checkpoint policy exists to exclude.

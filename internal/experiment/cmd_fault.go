@@ -35,6 +35,8 @@ func bindFault(fs *flag.FlagSet, s *Spec) {
 		fmt.Sprintf("decode events between pilot snapshots for campaign fast-forward (0 = default %d, negative = disabled); results are identical either way", fault.DefaultSnapshotInterval))
 	fs.BoolVar(&s.Campaign.LatencyHist, "latency-hist", s.Campaign.LatencyHist,
 		"print the detection-latency distribution (cycles and trace length from injection to detection)")
+	fs.BoolVar(&s.Campaign.Exact, "exact", s.Campaign.Exact,
+		"disable decided-outcome early exits: simulate every injection's full window (reference path; categories are identical either way)")
 }
 
 // printLatencyHist renders one detection-latency histogram as a log2-bucket
@@ -83,6 +85,7 @@ func runFault(e *Engine) error {
 	cfg.Experiment.Verify = !s.Campaign.NoVerify
 	cfg.Experiment.Checkpoint = s.Campaign.Checkpoint
 	cfg.Experiment.SnapshotInterval = s.Campaign.SnapshotInterval
+	cfg.Experiment.Exact = s.Campaign.Exact
 	cfg.Experiment.Pipeline.Detector = s.Detector
 	cfg.Experiment.Pipeline.Probe = e.probe
 	cfg.Tracer = e.tracer
@@ -148,6 +151,26 @@ func runFault(e *Engine) error {
 		if snaps > 0 {
 			fmt.Fprintf(w, "(snapshot fast-forward: %d pilot snapshots retained, %d page refs sharing %d distinct pages ≈ %.1f MiB resident, copy-on-write)\n",
 				snaps, pages, owned, float64(owned)*4096/(1<<20))
+		}
+		var bud fault.Budget
+		for _, r := range rows {
+			b := r.Result.Budget
+			bud.CyclesSimulated += b.CyclesSimulated
+			bud.CyclesSaved += b.CyclesSaved
+			bud.DecidedEarly += b.DecidedEarly
+			bud.VerifyForked += b.VerifyForked
+			bud.ProofFallbacks += b.ProofFallbacks
+			e.addBudget(r.Result.Budget)
+		}
+		if bud.DecidedEarly > 0 {
+			total := bud.CyclesSimulated + bud.CyclesSaved
+			fmt.Fprintf(w, "(decided-outcome: %d injections settled early, %d verify runs forked; %d of %d window cycles skipped ≈ %.1f%%",
+				bud.DecidedEarly, bud.VerifyForked, bud.CyclesSaved, total,
+				100*float64(bud.CyclesSaved)/float64(total))
+			if bud.ProofFallbacks > 0 {
+				fmt.Fprintf(w, "; %d proof fallbacks", bud.ProofFallbacks)
+			}
+			fmt.Fprintln(w, ")")
 		}
 		fmt.Fprintln(w, "(paper averages: 95.4% ITR-detected; ITR+Mask 59.4%, ITR+SDC+R 32%, ITR+wdog+R 3%,")
 		fmt.Fprintln(w, " ITR+SDC+D 1%, Undet+SDC 2.6%, Undet+Mask 1.8%, spc+SDC 0.1%, Undet+wdog 0.1%)")

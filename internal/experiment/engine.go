@@ -46,7 +46,30 @@ type Engine struct {
 
 	mu       sync.Mutex
 	bench    map[string]*BenchTiming
+	budget   fault.Budget
 	manifest Manifest
+}
+
+// addBudget folds one campaign's decided-outcome accounting into the run
+// totals surfaced by the manifest telemetry. Safe to call concurrently with
+// the -progress ticker's telemetrySnapshot.
+func (e *Engine) addBudget(b fault.Budget) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.budget.CyclesSimulated += b.CyclesSimulated
+	e.budget.CyclesSaved += b.CyclesSaved
+	e.budget.DecidedEarly += b.DecidedEarly
+	e.budget.VerifyForked += b.VerifyForked
+	e.budget.ProofFallbacks += b.ProofFallbacks
+	for cat, cb := range b.ByClass {
+		if e.budget.ByClass == nil {
+			e.budget.ByClass = make(map[fault.Category]fault.ClassBudget)
+		}
+		acc := e.budget.ByClass[cat]
+		acc.Simulated += cb.Simulated
+		acc.Saved += cb.Saved
+		e.budget.ByClass[cat] = acc
+	}
 }
 
 // New builds an engine for spec writing to out (tables) and errw
@@ -136,6 +159,8 @@ func (e *Engine) registerMetrics() {
 	e.reg.RegisterCounter("itr_sweep_events_replayed_total", &e.sweep.EventsReplayed)
 	e.reg.RegisterCounter("itr_sweep_cells_total", &e.sweep.CellsCompleted)
 	e.reg.RegisterCounter("itr_injections_total", &e.camp.Injections)
+	e.reg.RegisterCounter("itr_injection_cycles_simulated_total", &e.camp.CyclesSimulated)
+	e.reg.RegisterCounter("itr_injection_cycles_saved_total", &e.camp.CyclesSaved)
 	e.reg.RegisterGaugeFunc("itr_uptime_seconds", func() int64 {
 		return int64(time.Since(e.started).Seconds())
 	})
@@ -314,6 +339,19 @@ func (e *Engine) telemetrySnapshot() Telemetry {
 	t.Injections = e.camp.Injections.Load()
 	t.DetectorPolls = e.probe.DetectorPolls.Load()
 	t.DetectorDetections = e.probe.DetectorDetections.Load()
+	t.InjectionCyclesSimulated = e.camp.CyclesSimulated.Load()
+	t.InjectionCyclesSaved = e.camp.CyclesSaved.Load()
+	e.mu.Lock()
+	t.InjectionsDecidedEarly = e.budget.DecidedEarly
+	t.VerifyRunsForked = e.budget.VerifyForked
+	t.ProofFallbacks = e.budget.ProofFallbacks
+	if len(e.budget.ByClass) > 0 {
+		t.CyclesSavedByClass = make(map[string]int64, len(e.budget.ByClass))
+		for cat, cb := range e.budget.ByClass {
+			t.CyclesSavedByClass[string(cat)] = cb.Saved
+		}
+	}
+	e.mu.Unlock()
 	return t
 }
 
@@ -389,6 +427,11 @@ func (e *Engine) startProgress() func() {
 				}
 				if snap.Injections > 0 {
 					line += fmt.Sprintf(", %d injections (%.1f/s)", snap.Injections, float64(snap.Injections)/elapsed)
+				}
+				if snap.InjectionCyclesSaved > 0 {
+					total := snap.InjectionCyclesSimulated + snap.InjectionCyclesSaved
+					line += fmt.Sprintf(", %d cycles saved early (%.0f%% of windows)",
+						snap.InjectionCyclesSaved, 100*float64(snap.InjectionCyclesSaved)/float64(total))
 				}
 				if snap.DetectorPolls > 0 {
 					line += fmt.Sprintf(", %d detector polls (%d detections)",

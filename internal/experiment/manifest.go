@@ -122,6 +122,22 @@ type Telemetry struct {
 	// DetectorDetections counts mismatches the backends observed.
 	DetectorPolls      int64 `json:"detectorPolls,omitempty"`
 	DetectorDetections int64 `json:"detectorDetections,omitempty"`
+	// The decided-outcome engine's accounting (fault/shootout runs):
+	// InjectionCyclesSimulated is the pipeline cycles injection runs
+	// actually simulated; InjectionCyclesSaved is the window cycles skipped
+	// by early-settled classifications and verify-run forks;
+	// InjectionsDecidedEarly counts observe runs that exited before their
+	// window; VerifyRunsForked counts verify runs resumed from a pre-fault
+	// fork of the observe machine; ProofFallbacks counts convergence proofs
+	// that failed (those runs simulated their full window).
+	InjectionCyclesSimulated int64 `json:"injectionCyclesSimulated,omitempty"`
+	InjectionCyclesSaved     int64 `json:"injectionCyclesSaved,omitempty"`
+	InjectionsDecidedEarly   int64 `json:"injectionsDecidedEarly,omitempty"`
+	VerifyRunsForked         int64 `json:"verifyRunsForked,omitempty"`
+	ProofFallbacks           int64 `json:"proofFallbacks,omitempty"`
+	// CyclesSavedByClass breaks InjectionCyclesSaved down by Figure 8
+	// outcome category.
+	CyclesSavedByClass map[string]int64 `json:"cyclesSavedByClass,omitempty"`
 }
 
 // Version returns a git-describe-style identifier for the running build:

@@ -162,6 +162,11 @@ type CampaignSpec struct {
 	// campaign: log2-bucket tables of cycles and trace length (committed
 	// instructions) from injection to first detection, with quantiles.
 	LatencyHist bool `json:"latencyHist,omitempty"`
+	// Exact disables the decided-outcome engine: every injection simulates
+	// its full observation window instead of stopping once its
+	// classification is settled. Categories and counts are identical either
+	// way; exact mode exists as the reference path for identity checks.
+	Exact bool `json:"exact,omitempty"`
 }
 
 // ShootoutSpec parameterizes the detector-backend comparison: the Figure 8
@@ -183,6 +188,10 @@ type ShootoutSpec struct {
 	NoVerify bool `json:"noVerify,omitempty"`
 	// SnapshotInterval is the campaign fast-forward spacing (as in fault).
 	SnapshotInterval int64 `json:"snapshotInterval,omitempty"`
+	// SweepChunks additionally sweeps each backend's detection-granularity
+	// knob (RepTFD chunk length, DME address offset) and prints a
+	// per-configuration outcome table alongside the main shootout.
+	SweepChunks bool `json:"sweepChunks,omitempty"`
 }
 
 // SimSpec parameterizes a single run on the ITR-protected cycle-level core.

@@ -48,6 +48,11 @@ type CampaignConfig struct {
 type Progress struct {
 	// Injections counts completed injection experiments.
 	Injections obs.Counter
+	// CyclesSimulated and CyclesSaved mirror the campaign Budget live: the
+	// pipeline cycles injections actually simulated, and the window cycles
+	// the decided-outcome engine skipped (zero under Config.Exact).
+	CyclesSimulated obs.Counter
+	CyclesSaved     obs.Counter
 }
 
 // DefaultCampaignConfig returns a scaled-down campaign (raise Faults to 1000
@@ -85,7 +90,10 @@ type CampaignResult struct {
 	Snapshots          int
 	SnapshotPages      int
 	SnapshotOwnedPages int
-	Details            []Detail
+	// Budget accounts the decided-outcome engine's work: cycles simulated
+	// versus window cycles skipped, per outcome class.
+	Budget  Budget
+	Details []Detail
 }
 
 // Pct returns the percentage of injections in category c.
@@ -213,6 +221,7 @@ func RunCampaign(name string, prog *program.Program, cfg CampaignConfig) (Campai
 	}
 
 	details := make([]Detail, cfg.Faults)
+	budgets := make([]runBudget, cfg.Faults)
 	errs := make([]error, cfg.Faults)
 	var wg sync.WaitGroup
 	work := make(chan int)
@@ -235,7 +244,7 @@ func RunCampaign(name string, prog *program.Program, cfg CampaignConfig) (Campai
 			for i := range work {
 				inj := injections[i]
 				ring.Emit(obs.EvInjectStart, inj.DecodeIndex, int64(inj.Bit))
-				details[i], errs[i] = runOne(prog, oracle, wcfg, inj, rc, ar)
+				details[i], errs[i] = runOne(prog, oracle, wcfg, inj, rc, ar, &budgets[i])
 				d := details[i]
 				detected := int64(0)
 				if errs[i] == nil && d.Detected {
@@ -252,6 +261,8 @@ func RunCampaign(name string, prog *program.Program, cfg CampaignConfig) (Campai
 				ring.Emit(obs.EvInjectClassify, inj.DecodeIndex, detected)
 				if cfg.Progress != nil {
 					cfg.Progress.Injections.AddAt(uint32(w), 1)
+					cfg.Progress.CyclesSimulated.AddAt(uint32(w), budgets[i].simulated)
+					cfg.Progress.CyclesSaved.AddAt(uint32(w), budgets[i].saved)
 				}
 			}
 		}(w)
@@ -269,6 +280,7 @@ func RunCampaign(name string, prog *program.Program, cfg CampaignConfig) (Campai
 		res.Total++
 		res.Counts[d.Category]++
 		res.ByField[d.Injection.Field()]++
+		res.Budget.add(budgets[i], d.Category)
 		if d.Verified && d.Detected && d.Recoverable {
 			res.RecoveryAttempted++
 			if d.RecoveredInFull && !d.MachineCheck && !d.SDCUnderITR {

@@ -226,6 +226,14 @@ type Config struct {
 	// fast path entirely (every run starts cold). Results are bit-identical
 	// either way. EffectiveSnapshotInterval resolves the semantics.
 	SnapshotInterval int64
+	// Exact disables the decided-outcome engine, forcing every injection
+	// run to simulate its full observation window — the byte-identical
+	// reference path. The default (false) lets snapshot-resumed runs stop
+	// as soon as their classification is settled; their Detail payloads may
+	// then differ in category-irrelevant facts (Halted, and FaultyResident
+	// on detected runs), but categories, counts, and recovery verdicts are
+	// identical — the invariant the classification-identity tests pin.
+	Exact bool
 }
 
 // EffectiveSnapshotInterval resolves the SnapshotInterval convention in one
@@ -273,7 +281,7 @@ func DefaultConfig() Config {
 // from cycle 0 (the cold path; campaigns use the snapshot fast path via
 // RunCampaign).
 func RunOne(prog *program.Program, oracle *SigOracle, cfg Config, inj Injection) (Detail, error) {
-	return runOne(prog, oracle, cfg, inj, nil, nil)
+	return runOne(prog, oracle, cfg, inj, nil, nil, nil)
 }
 
 // runArena holds one campaign worker's reusable machines. Building a
@@ -355,7 +363,14 @@ func (a *runArena) verifyCPU(snap *pipeline.Snapshot) (*pipeline.CPU, error) {
 // precomputed commit log. The resumed trajectory is bit-identical to the
 // cold one — the snapshot captures the complete machine state and the fault
 // fires strictly after it.
-func runOne(prog *program.Program, oracle *SigOracle, cfg Config, inj Injection, rc *replayContext, ar *runArena) (Detail, error) {
+//
+// Snapshot-resumed runs additionally use the decided-outcome engine (see
+// decide.go) unless cfg.Exact is set: the observe run stops as soon as the
+// classification is settled, and the verify run forks from a pre-fault
+// capture of the observe machine instead of re-simulating the detect-free
+// prefix. bud, when non-nil, receives the run's simulated/saved cycle
+// accounting.
+func runOne(prog *program.Program, oracle *SigOracle, cfg Config, inj Injection, rc *replayContext, ar *runArena, bud *runBudget) (Detail, error) {
 	det := Detail{Injection: inj, LatencyCycles: -1, LatencyInsts: -1}
 	snap := rc.nearest(inj.DecodeIndex)
 
@@ -375,8 +390,9 @@ func runOne(prog *program.Program, oracle *SigOracle, cfg Config, inj Injection,
 	}
 	budget := cfg.WindowCycles
 	var diverged func() bool
+	var cur *goldenCursor
 	if snap != nil {
-		cur := rc.stream.cursor(int(snap.Committed))
+		cur = rc.stream.cursor(int(snap.Committed))
 		cpu.SetCommitObserver(cur.observe)
 		diverged = func() bool { return cur.diverged }
 		budget = cfg.WindowCycles - snap.Cycle
@@ -385,9 +401,50 @@ func runOne(prog *program.Program, oracle *SigOracle, cfg Config, inj Injection,
 		cpu.SetCommitObserver(g.observe)
 		diverged = func() bool { return g.diverged }
 	}
+	fast := snap != nil && !cfg.Exact
 	var injPt injectionPoint
-	cpu.SetFaultHook(hook(inj, cpu, &injPt))
-	res := cpu.Run(budget)
+	var presnap *pipeline.Snapshot
+	var res pipeline.Result
+	if fast {
+		// Pre-fault leg: advance hook-free to just before the fault's
+		// decode event and capture the verify run's fork point. The prefix
+		// is fault-free, so splitting the run here is trajectory-invisible;
+		// the capture is skipped when checkpointing makes forked verify
+		// runs unsound, or when the fault lands too close to the snapshot
+		// for the fork to skip anything.
+		cpu.SetFaultHook(nil)
+		if cfg.Verify && !cfg.Checkpoint {
+			if stop := inj.DecodeIndex - preFaultMargin; stop > snap.DecodeEvents {
+				pres := cpu.RunUntilDecode(budget, stop)
+				if pres.Termination == pipeline.TermBudget && cpu.DecodeEvents() < inj.DecodeIndex {
+					presnap = cpu.Snapshot()
+				}
+			}
+		}
+		cpu.SetFaultHook(hook(inj, cpu, &injPt))
+		var early, fellBack bool
+		res, early, fellBack = runDecided(cpu, cur, rc.stream, snap, oracle, inj, cfg.WindowCycles, false)
+		if bud != nil {
+			bud.simulated += cpu.CycleCount() - snap.Cycle
+			if early {
+				bud.saved += cfg.WindowCycles - cpu.CycleCount()
+				bud.decidedEarly = true
+			}
+			if fellBack {
+				bud.proofFallback = true
+			}
+		}
+	} else {
+		cpu.SetFaultHook(hook(inj, cpu, &injPt))
+		res = cpu.Run(budget)
+		if bud != nil {
+			start := int64(0)
+			if snap != nil {
+				start = snap.Cycle
+			}
+			bud.simulated += cpu.CycleCount() - start
+		}
+	}
 
 	det.NaturalSDC = diverged()
 	det.Deadlock = res.Termination == pipeline.TermDeadlock
@@ -426,10 +483,15 @@ func runOne(prog *program.Program, oracle *SigOracle, cfg Config, inj Injection,
 	if cfg.Verify && det.Detected {
 		// The fast path is invalid under checkpointing: a cold verify run
 		// takes coarse-grain checkpoints during the prefix, which the
-		// checkpoint-free pilot snapshot cannot reproduce.
+		// checkpoint-free pilot snapshot cannot reproduce. Otherwise the
+		// verify run resumes from the observe machine's pre-fault fork when
+		// one was captured, skipping the detect-free prefix between the
+		// pilot snapshot and the injection.
 		vsnap := snap
 		if cfg.Checkpoint {
 			vsnap = nil
+		} else if fast && presnap != nil {
+			vsnap = presnap
 		}
 		var vcpu *pipeline.CPU
 		if ar != nil {
@@ -447,12 +509,13 @@ func runOne(prog *program.Program, oracle *SigOracle, cfg Config, inj Injection,
 		}
 		vbudget := cfg.WindowCycles
 		var vdiverged func() bool
+		var vcur *goldenCursor
 		// A reused machine carries the previous run's observers; every hook a
 		// verify run depends on is (re)set below, and the checkpoint observer
 		// is cleared unless this run installs its own.
 		vcpu.SetCheckpointObserver(nil)
 		if vsnap != nil {
-			vcur := rc.stream.cursor(int(vsnap.Committed))
+			vcur = rc.stream.cursor(int(vsnap.Committed))
 			vcpu.SetCommitObserver(vcur.observe)
 			vdiverged = func() bool { return vcur.diverged }
 			vbudget = cfg.WindowCycles - vsnap.Cycle
@@ -466,7 +529,34 @@ func runOne(prog *program.Program, oracle *SigOracle, cfg Config, inj Injection,
 		}
 		var vinjPt injectionPoint
 		vcpu.SetFaultHook(hook(inj, vcpu, &vinjPt))
-		vres := vcpu.Run(vbudget)
+		var vres pipeline.Result
+		if fast && vsnap != nil {
+			var vearly, vfell bool
+			vres, vearly, vfell = runDecided(vcpu, vcur, rc.stream, vsnap, oracle, inj, cfg.WindowCycles, true)
+			if bud != nil {
+				bud.simulated += vcpu.CycleCount() - vsnap.Cycle
+				if vearly {
+					bud.saved += cfg.WindowCycles - vcpu.CycleCount()
+				}
+				if vfell {
+					bud.proofFallback = true
+				}
+				if presnap != nil && vsnap == presnap {
+					// The fork skipped re-simulating snap.Cycle→presnap.Cycle.
+					bud.saved += presnap.Cycle - snap.Cycle
+					bud.verifyForked = true
+				}
+			}
+		} else {
+			vres = vcpu.Run(vbudget)
+			if bud != nil {
+				vstart := int64(0)
+				if vsnap != nil {
+					vstart = vsnap.Cycle
+				}
+				bud.simulated += vcpu.CycleCount() - vstart
+			}
+		}
 		det.Verified = true
 		det.RecoveredInFull = vcpu.Detector().Stats().Recoveries > 0
 		det.MachineCheck = vres.Termination == pipeline.TermMachineCheck

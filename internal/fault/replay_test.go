@@ -30,6 +30,11 @@ func TestCampaignSnapshotFastPathBitIdentical(t *testing.T) {
 			base.Workers = 4
 			base.Experiment = quickConfig()
 			base.Experiment.Checkpoint = v.ckpt
+			// Pin the exact (run-to-completion) path: this test is about
+			// snapshot-resume bit-identity, and only that path promises
+			// byte-identical Detail payloads. The decided-outcome fast
+			// path's classification identity has its own property test.
+			base.Experiment.Exact = true
 
 			cold := base
 			cold.Experiment.SnapshotInterval = -1

@@ -280,3 +280,37 @@ func (m *Memory) VisitPages(fn func(pageID uint64, words []uint64)) {
 		fn(id, page.data[:])
 	}
 }
+
+var zeroPage memPage
+
+// Equal reports whether the two memories hold identical contents at every
+// address. It is the convergence check behind decided-outcome fault
+// classification: a page shared by both page tables (the common case when
+// one side descends from a snapshot of the other — the copy-on-write
+// machinery shares pages by pointer until first write) compares in O(1) by
+// identity; only pages one side materialized privately are word-compared. A
+// page present on one side only is compared against zeros, because a
+// never-materialized page reads as zero.
+func (m *Memory) Equal(o *Memory) bool {
+	for id, p := range m.pages {
+		q, ok := o.pages[id]
+		switch {
+		case ok && p == q:
+			// Shared by reference: identical by construction.
+		case ok:
+			if p.data != q.data {
+				return false
+			}
+		default:
+			if p.data != zeroPage.data {
+				return false
+			}
+		}
+	}
+	for id, q := range o.pages {
+		if _, ok := m.pages[id]; !ok && q.data != zeroPage.data {
+			return false
+		}
+	}
+	return true
+}

@@ -546,6 +546,19 @@ func (c *CPU) DecodeEvents() int64 { return c.decodeEvents }
 // CommittedInsts returns the number of committed instructions so far.
 func (c *CPU) CommittedInsts() int64 { return c.committedCount }
 
+// OldestInFlightDecode returns the decode-event index of the oldest
+// in-flight (dispatched, not yet committed) uop; ok is false when the ROB is
+// empty. Decode indices are assigned in allocation order, so every in-flight
+// uop's index is at least the returned one — the decided-outcome fault
+// classifier uses that to prove a corrupted decode has fully drained from
+// the window.
+func (c *CPU) OldestInFlightDecode() (idx int64, ok bool) {
+	if c.robLen() == 0 {
+		return 0, false
+	}
+	return int64(c.slots.decodeIndex[c.slot(c.robHead)]), true
+}
+
 // Run executes until the cycle budget is exhausted or the machine
 // terminates, returning the run summary. Run may be called repeatedly to
 // extend a run; the budget is per-call.

@@ -105,6 +105,20 @@ func (s *Snapshot) VisitMemPages(fn func(pageID uint64)) {
 	s.mem.VisitPages(func(id uint64, _ []uint64) { fn(id) })
 }
 
+// ArchFork returns an independent functional machine seeded with the
+// snapshot's committed architectural state: registers and PC copied, memory
+// adopted copy-on-write from the snapshot's page table. The fork and any
+// machine restored from the same snapshot share every untouched page by
+// pointer, so comparing the two with isa.Memory.Equal degenerates to a
+// generation-tag page diff: only pages either side dirtied since the
+// snapshot are word-compared. The decided-outcome fault classifier walks
+// this fork along the golden commit stream to prove re-convergence.
+func (s *Snapshot) ArchFork() (*isa.ArchState, *isa.Memory) {
+	m := isa.NewMemory()
+	m.CopyFrom(s.mem)
+	return &isa.ArchState{R: s.regsR, F: s.regsF, PC: s.pc, Mem: m}, m
+}
+
 // publishCowCopies publishes the memory's not-yet-reported copy-on-write
 // page copies to the probe. Called at run boundaries and around
 // snapshot/restore, so COW accounting stays off the per-store hot path.

@@ -43,6 +43,9 @@ awk '
         if (!(n in ns) || v < ns[n]) ns[n] = v
         b = metric("B/op");      if (b >= 0 && (!(n in bop) || b < bop[n])) bop[n] = b
         a = metric("allocs/op"); if (a >= 0 && (!(n in aop) || a < aop[n])) aop[n] = a
+        # Custom campaign metric: simulated pipeline cycles per injection
+        # (decided-outcome engine accounting; lower = more windows skipped).
+        c = metric("cycles/injection"); if (c >= 0 && (!(n in cpi) || c < cpi[n])) cpi[n] = c
     }
     END {
         printf "{\n"
@@ -51,6 +54,7 @@ awk '
             printf "  \"%s\": {\"ns_per_op\": %g", n, ns[n]
             if (n in bop) printf ", \"bytes_per_op\": %d", bop[n]
             if (n in aop) printf ", \"allocs_per_op\": %d", aop[n]
+            if (n in cpi) printf ", \"cycles_per_injection\": %g", cpi[n]
             printf "}%s\n", i < nn ? "," : ""
         }
         printf "}\n"
